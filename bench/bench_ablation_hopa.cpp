@@ -1,0 +1,71 @@
+// Ablation: HOPA priority assignment inside OptimizeSchedule.
+//
+// OS calls the HOPA heuristic ("pi = HOPA") for every tentative bus
+// configuration.  This harness compares full OS against a variant whose
+// priorities stay at the non-iterated deadline-monotonic assignment,
+// isolating how much of OS's quality comes from the priority feedback
+// loop versus the bus-access search.
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "mcs/core/degree_of_schedulability.hpp"
+#include "mcs/gen/suites.hpp"
+#include "mcs/util/stats.hpp"
+#include "mcs/util/table.hpp"
+
+using namespace mcs;
+
+int main() {
+  const bench::Profile profile = bench::Profile::from_env();
+  const auto suite = gen::figure9ab_suite(std::max<std::size_t>(2, profile.seeds_per_dim));
+
+  struct Row {
+    util::Accumulator delta_hopa, delta_dm;
+    int sched_hopa = 0, sched_dm = 0, instances = 0;
+    util::Accumulator t_hopa, t_dm;
+  };
+  std::map<std::size_t, Row> rows;
+
+  for (const auto& point : suite) {
+    if (point.dimension > 240) continue;  // keep the ablation quick
+    const auto sys = gen::generate(point.params);
+    const core::MoveContext ctx(sys.app, sys.platform, core::McsOptions{});
+    Row& row = rows[point.dimension];
+    ++row.instances;
+
+    core::OptimizeScheduleOptions with_hopa = profile.os_options();
+    bench::Stopwatch sw_h;
+    const auto os_hopa = core::optimize_schedule(ctx, with_hopa);
+    row.t_hopa.add(sw_h.seconds());
+    row.delta_hopa.add(static_cast<double>(os_hopa.best_eval.delta.delta()));
+    if (os_hopa.best_eval.schedulable) ++row.sched_hopa;
+
+    core::OptimizeScheduleOptions no_hopa = profile.os_options();
+    no_hopa.hopa.max_iterations = 1;  // initial deadline-monotonic only
+    bench::Stopwatch sw_d;
+    const auto os_dm = core::optimize_schedule(ctx, no_hopa);
+    row.t_dm.add(sw_d.seconds());
+    row.delta_dm.add(static_cast<double>(os_dm.best_eval.delta.delta()));
+    if (os_dm.best_eval.schedulable) ++row.sched_dm;
+  }
+
+  std::printf("Ablation: HOPA iterations inside OS vs deadline-monotonic only\n\n");
+  util::Table table({"processes", "avg delta (OS+HOPA)", "avg delta (OS+DM)",
+                     "sched HOPA", "sched DM", "t HOPA [s]", "t DM [s]"});
+  for (const auto& [dim, row] : rows) {
+    table.add_row({util::Table::fmt(static_cast<std::int64_t>(dim)),
+                   util::Table::fmt(row.delta_hopa.mean(), 0),
+                   util::Table::fmt(row.delta_dm.mean(), 0),
+                   util::Table::fmt(static_cast<std::int64_t>(row.sched_hopa)) + "/" +
+                       util::Table::fmt(static_cast<std::int64_t>(row.instances)),
+                   util::Table::fmt(static_cast<std::int64_t>(row.sched_dm)) + "/" +
+                       util::Table::fmt(static_cast<std::int64_t>(row.instances)),
+                   util::Table::fmt(row.t_hopa.mean(), 2),
+                   util::Table::fmt(row.t_dm.mean(), 2)});
+  }
+  table.print(std::cout);
+  std::printf("\nSmaller delta is better (negative = schedulable with slack).\n");
+  return 0;
+}

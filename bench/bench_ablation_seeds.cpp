@@ -1,0 +1,73 @@
+// Ablation: the "intelligence" of OptimizeResources' seeding (§5.1).
+//
+// The paper argues the hill climbing should start from the seed solutions
+// recorded by OptimizeSchedule (best-delta and best-s_total configs)
+// rather than from arbitrary points.  This harness compares, at equal
+// climbing budget: (a) OR seeded by OS, (b) hill climbing from the plain
+// straightforward configuration, (c) hill climbing from random
+// priority-shuffled configurations.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "mcs/core/hopa.hpp"
+#include "mcs/gen/suites.hpp"
+#include "mcs/util/rng.hpp"
+#include "mcs/util/stats.hpp"
+#include "mcs/util/table.hpp"
+
+using namespace mcs;
+
+int main() {
+  const bench::Profile profile = bench::Profile::from_env();
+  // Medium dimension keeps the budget meaningful.
+  auto suite = gen::figure9c_suite(std::max<std::size_t>(2, profile.seeds_per_dim));
+
+  util::Accumulator seeded, from_sf, from_random;
+  int counted = 0, instances = 0;
+  for (const auto& point : suite) {
+    if (point.dimension != 30) continue;  // one traffic level suffices here
+    ++instances;
+    const auto sys = gen::generate(point.params);
+    const core::MoveContext ctx(sys.app, sys.platform, core::McsOptions{});
+    const auto or_options = profile.or_options();
+
+    const auto orr = core::optimize_resources(ctx, or_options);
+    if (!orr.best_eval.schedulable) continue;
+
+    // Same climbing budget from the straightforward configuration.
+    const auto sf = core::straightforward(ctx);
+    const auto climb_sf = core::minimize_buffers_from(ctx, sf.candidate, or_options);
+
+    // And from a random priority shuffle of SF.
+    util::Rng rng(555 + point.params.seed);
+    core::Candidate random_start = sf.candidate;
+    rng.shuffle(random_start.process_priorities);
+    rng.shuffle(random_start.message_priorities);
+    const auto climb_rand =
+        core::minimize_buffers_from(ctx, random_start, or_options);
+
+    ++counted;
+    seeded.add(static_cast<double>(orr.best_eval.s_total));
+    from_sf.add(static_cast<double>(climb_sf.best_eval.schedulable
+                                        ? climb_sf.best_eval.s_total
+                                        : climb_sf.best_eval.s_total * 4));
+    from_random.add(static_cast<double>(climb_rand.best_eval.schedulable
+                                            ? climb_rand.best_eval.s_total
+                                            : climb_rand.best_eval.s_total * 4));
+  }
+
+  std::printf("Ablation: OR seeding (160 processes, 30 gateway messages, "
+              "%d of %d instances counted)\n\n", counted, instances);
+  util::Table table({"start", "avg s_total [B]", "note"});
+  table.add_row({"OS seed solutions (OR)", util::Table::fmt(seeded.mean(), 0),
+                 "the paper's strategy"});
+  table.add_row({"straightforward config", util::Table::fmt(from_sf.mean(), 0),
+                 "unschedulable starts penalized 4x"});
+  table.add_row({"random priorities", util::Table::fmt(from_random.mean(), 0),
+                 "unschedulable starts penalized 4x"});
+  table.print(std::cout);
+  std::printf("\nPaper shape: seeding from OS's best-delta / best-s_total "
+              "solutions dominates cold starts at equal budget.\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Microbenchmarks (google-benchmark) of the analysis building blocks:
+// response-time analysis, the MultiClusterScheduling fixed point, list
+// scheduling, the simulator and a full candidate evaluation, at the
+// paper's problem sizes.  These back the §6 run-time discussion with
+// per-call costs on today's hardware.
+#include <benchmark/benchmark.h>
+
+#include "mcs/core/moves.hpp"
+#include "mcs/core/multi_cluster_scheduling.hpp"
+#include "mcs/core/response_time_analysis.hpp"
+#include "mcs/gen/paper_example.hpp"
+#include "mcs/gen/suites.hpp"
+#include "mcs/sim/simulator.hpp"
+
+namespace {
+
+using namespace mcs;
+
+gen::GeneratedSystem make_system(std::int64_t nodes) {
+  gen::GeneratorParams p;
+  p.tt_nodes = static_cast<std::size_t>(nodes) / 2;
+  p.et_nodes = static_cast<std::size_t>(nodes) / 2;
+  p.target_inter_cluster_messages = 8 * (static_cast<std::size_t>(nodes) / 2);
+  p.seed = 42;
+  return gen::generate(p);
+}
+
+void BM_PaperExampleAnalysis(benchmark::State& state) {
+  const auto ex = gen::make_paper_example();
+  for (auto _ : state) {
+    core::SystemConfig cfg = gen::make_figure4_config(ex, gen::Figure4Variant::A);
+    const auto result =
+        core::multi_cluster_scheduling(ex.app, ex.platform, cfg, core::McsOptions{});
+    benchmark::DoNotOptimize(result.analysis.graph_response[0]);
+  }
+}
+BENCHMARK(BM_PaperExampleAnalysis);
+
+void BM_MultiClusterScheduling(benchmark::State& state) {
+  const auto sys = make_system(state.range(0));
+  const model::ReachabilityIndex reach(sys.app);
+  core::Candidate cand = core::Candidate::initial(sys.app, sys.platform);
+  for (auto _ : state) {
+    core::SystemConfig cfg = cand.to_config(sys.app);
+    const auto result = core::multi_cluster_scheduling(
+        sys.app, sys.platform, cfg, sched::ScheduleConstraints::none(sys.app),
+        core::McsOptions{}, reach);
+    benchmark::DoNotOptimize(result.analysis.converged);
+  }
+  state.SetLabel(std::to_string(sys.app.num_processes()) + " processes");
+}
+BENCHMARK(BM_MultiClusterScheduling)->Arg(2)->Arg(4)->Arg(6)->Arg(8)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ResponseTimeAnalysisOnly(benchmark::State& state) {
+  const auto sys = make_system(state.range(0));
+  const model::ReachabilityIndex reach(sys.app);
+  core::Candidate cand = core::Candidate::initial(sys.app, sys.platform);
+  core::SystemConfig cfg = cand.to_config(sys.app);
+  const auto mcs = core::multi_cluster_scheduling(
+      sys.app, sys.platform, cfg, sched::ScheduleConstraints::none(sys.app),
+      core::McsOptions{}, reach);
+  core::AnalysisInput input;
+  input.app = &sys.app;
+  input.platform = &sys.platform;
+  input.config = &cfg;
+  input.ttc_schedule = &mcs.schedule;
+  for (auto _ : state) {
+    const auto result = core::response_time_analysis(input, reach);
+    benchmark::DoNotOptimize(result.outer_iterations);
+  }
+  state.SetLabel(std::to_string(sys.app.num_processes()) + " processes");
+}
+BENCHMARK(BM_ResponseTimeAnalysisOnly)->Arg(2)->Arg(6)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ListScheduling(benchmark::State& state) {
+  const auto sys = make_system(state.range(0));
+  core::Candidate cand = core::Candidate::initial(sys.app, sys.platform);
+  const auto constraints = sched::ScheduleConstraints::none(sys.app);
+  for (auto _ : state) {
+    const auto schedule =
+        sched::list_schedule(sys.app, sys.platform, cand.tdma, constraints);
+    benchmark::DoNotOptimize(schedule.makespan);
+  }
+  state.SetLabel(std::to_string(sys.app.num_processes()) + " processes");
+}
+BENCHMARK(BM_ListScheduling)->Arg(2)->Arg(6)->Arg(10)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Simulation(benchmark::State& state) {
+  const auto sys = make_system(state.range(0));
+  core::Candidate cand = core::Candidate::initial(sys.app, sys.platform);
+  core::SystemConfig cfg = cand.to_config(sys.app);
+  const auto mcs =
+      core::multi_cluster_scheduling(sys.app, sys.platform, cfg, core::McsOptions{});
+  for (auto _ : state) {
+    const auto sim = sim::simulate(sys.app, sys.platform, cfg, mcs.schedule);
+    benchmark::DoNotOptimize(sim.completed);
+  }
+  state.SetLabel(std::to_string(sys.app.num_processes()) + " processes");
+}
+BENCHMARK(BM_Simulation)->Arg(2)->Arg(6)->Arg(10)->Unit(benchmark::kMicrosecond);
+
+void BM_CandidateEvaluation(benchmark::State& state) {
+  const auto sys = make_system(state.range(0));
+  const core::MoveContext ctx(sys.app, sys.platform, core::McsOptions{});
+  const core::Candidate cand = core::Candidate::initial(sys.app, sys.platform);
+  for (auto _ : state) {
+    const auto eval = ctx.evaluate(cand);
+    benchmark::DoNotOptimize(eval.s_total);
+  }
+  state.SetLabel(std::to_string(sys.app.num_processes()) + " processes");
+}
+BENCHMARK(BM_CandidateEvaluation)->Arg(2)->Arg(6)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReachabilityIndex(benchmark::State& state) {
+  const auto sys = make_system(state.range(0));
+  for (auto _ : state) {
+    const model::ReachabilityIndex reach(sys.app);
+    benchmark::DoNotOptimize(&reach);
+  }
+  state.SetLabel(std::to_string(sys.app.num_processes()) + " processes");
+}
+BENCHMARK(BM_ReachabilityIndex)->Arg(2)->Arg(10)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

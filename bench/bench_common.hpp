@@ -1,0 +1,88 @@
+// Shared utilities of the benchmark harnesses.
+//
+// Each bench binary regenerates one table/figure of the paper's §6.  The
+// paper's SA reference runs took up to three hours per instance; to keep
+// `for b in build/bench/*; do $b; done` laptop-sized, the default profile
+// trims the seed counts and gives every SA run an evaluation + wall-clock
+// budget.  Environment knobs restore paper-scale runs:
+//
+//   MCS_BENCH_SEEDS=N      random instances per dimension   (default 2; paper 30)
+//   MCS_BENCH_SA_EVALS=N   SA evaluation budget per run     (default 250)
+//   MCS_BENCH_SA_MS=N      SA wall-clock budget per run, ms (default 8000)
+//   MCS_BENCH_FULL=1       shorthand: seeds=10, evals=4000, ms=120000
+#pragma once
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+#include "mcs/core/optimize_resources.hpp"
+#include "mcs/core/simulated_annealing.hpp"
+#include "mcs/core/straightforward.hpp"
+
+namespace mcs::bench {
+
+struct Profile {
+  std::size_t seeds_per_dim = 2;
+  int sa_max_evaluations = 250;
+  std::int64_t sa_max_ms = 8000;
+  int hopa_iterations = 3;
+
+  [[nodiscard]] static Profile from_env() {
+    Profile p;
+    if (std::getenv("MCS_BENCH_FULL") != nullptr) {
+      p.seeds_per_dim = 10;
+      p.sa_max_evaluations = 4000;
+      p.sa_max_ms = 120000;
+    }
+    if (const char* s = std::getenv("MCS_BENCH_SEEDS")) {
+      p.seeds_per_dim = static_cast<std::size_t>(std::strtoul(s, nullptr, 10));
+    }
+    if (const char* s = std::getenv("MCS_BENCH_SA_EVALS")) {
+      p.sa_max_evaluations = static_cast<int>(std::strtol(s, nullptr, 10));
+    }
+    if (const char* s = std::getenv("MCS_BENCH_SA_MS")) {
+      p.sa_max_ms = std::strtoll(s, nullptr, 10);
+    }
+    return p;
+  }
+
+  [[nodiscard]] core::OptimizeScheduleOptions os_options() const {
+    core::OptimizeScheduleOptions o;
+    o.hopa.max_iterations = hopa_iterations;
+    return o;
+  }
+
+  [[nodiscard]] core::OptimizeResourcesOptions or_options() const {
+    core::OptimizeResourcesOptions o;
+    o.schedule = os_options();
+    o.max_seed_starts = 3;
+    o.max_climb_iterations = 10;
+    o.neighbors_per_step = 16;
+    return o;
+  }
+
+  [[nodiscard]] core::SaOptions sa_options(core::SaObjective objective,
+                                           std::uint64_t seed) const {
+    core::SaOptions o;
+    o.objective = objective;
+    o.max_evaluations = sa_max_evaluations;
+    o.max_milliseconds = sa_max_ms;
+    o.seed = seed;
+    return o;
+  }
+};
+
+class Stopwatch {
+public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mcs::bench

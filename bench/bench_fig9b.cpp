@@ -1,0 +1,72 @@
+// Figure 9b: total buffer need s_total of OS vs OR vs the near-optimal
+// SAR reference, for 80..400-process systems.
+//
+// Expected shape (paper): OR finds schedulable systems with roughly half
+// the buffer need of OS, close to SAR.
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "mcs/gen/suites.hpp"
+#include "mcs/util/stats.hpp"
+#include "mcs/util/table.hpp"
+
+using namespace mcs;
+
+int main() {
+  const bench::Profile profile = bench::Profile::from_env();
+  const auto suite = gen::figure9ab_suite(profile.seeds_per_dim);
+  std::printf("Figure 9b: average total buffer size s_total [bytes] "
+              "(%zu instances/dimension, schedulable instances only)\n\n",
+              profile.seeds_per_dim);
+
+  struct Row {
+    util::Accumulator os, orr, sar;
+    int instances = 0, counted = 0;
+  };
+  std::map<std::size_t, Row> rows;
+
+  for (const auto& point : suite) {
+    const auto sys = gen::generate(point.params);
+    const core::MoveContext ctx(sys.app, sys.platform, core::McsOptions{});
+    Row& row = rows[point.dimension];
+    ++row.instances;
+
+    // OR runs OS internally as step 1; reuse its metrics for both columns.
+    const auto orr = core::optimize_resources(ctx, profile.or_options());
+    if (!orr.best_eval.schedulable) continue;
+
+    // SAR: annealing on s_total, seeded from OR's best.
+    const auto sar = core::simulated_annealing(
+        ctx, orr.best,
+        profile.sa_options(core::SaObjective::BufferSize, 2000 + point.params.seed));
+
+    ++row.counted;
+    row.os.add(static_cast<double>(orr.s_total_before));
+    row.orr.add(static_cast<double>(orr.best_eval.s_total));
+    row.sar.add(static_cast<double>(sar.best_eval.schedulable
+                                        ? sar.best_eval.s_total
+                                        : orr.best_eval.s_total));
+  }
+
+  util::Table table({"processes", "instances", "counted", "avg s_total OS [B]",
+                     "avg s_total OR [B]", "avg s_total SAR [B]", "OR/OS"});
+  for (const auto& [dim, row] : rows) {
+    const bool have = row.counted > 0;
+    table.add_row(
+        {util::Table::fmt(static_cast<std::int64_t>(dim)),
+         util::Table::fmt(static_cast<std::int64_t>(row.instances)),
+         util::Table::fmt(static_cast<std::int64_t>(row.counted)),
+         have ? util::Table::fmt(row.os.mean(), 0) : "-",
+         have ? util::Table::fmt(row.orr.mean(), 0) : "-",
+         have ? util::Table::fmt(row.sar.mean(), 0) : "-",
+         have && row.os.mean() > 0
+             ? util::Table::fmt(row.orr.mean() / row.os.mean(), 2)
+             : "-"});
+  }
+  table.print(std::cout);
+  std::printf("\nPaper shape: OR roughly halves OS's buffer need and tracks SAR "
+              "closely.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// §6 run-time comparison: "our optimization heuristics needed a couple of
+// minutes to produce results, while the simulated annealing approaches
+// had an execution time of up to three hours" — roughly two orders of
+// magnitude.
+//
+// This harness measures, per dimension, the OS run time and the SA time
+// needed to REACH OS's solution quality from a cold start (the honest
+// apples-to-apples version of the paper's claim under bounded budgets),
+// and reports the ratio.
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "mcs/core/degree_of_schedulability.hpp"
+#include "mcs/gen/suites.hpp"
+#include "mcs/util/stats.hpp"
+#include "mcs/util/table.hpp"
+
+using namespace mcs;
+
+int main() {
+  const bench::Profile profile = bench::Profile::from_env();
+  // One instance per dimension keeps this binary quick; crank
+  // MCS_BENCH_SEEDS for averages.
+  const auto suite = gen::figure9ab_suite(1);
+  std::printf("Run-time comparison: OS vs cold-start SAS reaching OS quality\n\n");
+
+  util::Table table({"processes", "t(OS) [s]", "OS delta", "t(SAS to match) [s]",
+                     "matched?", "ratio"});
+  for (const auto& point : suite) {
+    const auto sys = gen::generate(point.params);
+    const core::MoveContext ctx(sys.app, sys.platform, core::McsOptions{});
+
+    bench::Stopwatch sw_os;
+    const auto os = core::optimize_schedule(ctx, profile.os_options());
+    const double t_os = sw_os.seconds();
+
+    // Cold-start SA; stop the moment it reaches OS quality (or the time
+    // budget runs out).  The wall clock is the binding budget here.
+    core::SaOptions sa = profile.sa_options(core::SaObjective::Schedulability,
+                                            4000 + point.params.seed);
+    sa.max_milliseconds = profile.sa_max_ms * 4;
+    sa.max_evaluations = 1'000'000'000;
+    sa.target_cost = static_cast<double>(os.best_eval.delta.delta());
+    // Keep exploring at sustained temperature long enough.
+    sa.initial_temperature = 1e5;
+    sa.cooling = 0.98;
+    sa.min_temperature = 1e-6;
+    core::Candidate cold = core::Candidate::initial(sys.app, sys.platform);
+    bench::Stopwatch sw_sa;
+    const auto sas = core::simulated_annealing(ctx, cold, sa);
+    const double t_sa = sw_sa.seconds();
+    const bool matched = !(os.best_eval.delta < sas.best_eval.delta);
+
+    table.add_row(
+        {util::Table::fmt(static_cast<std::int64_t>(point.dimension)),
+         util::Table::fmt(t_os, 2),
+         util::Table::fmt(static_cast<std::int64_t>(os.best_eval.delta.delta())),
+         util::Table::fmt(t_sa, 2), matched ? "yes" : "no (budget hit)",
+         t_os > 0 ? util::Table::fmt(t_sa / t_os, 1) : "-"});
+  }
+  table.print(std::cout);
+  std::printf("\nPaper claim: OS finishes in minutes where SA needs hours "
+              "(~2 orders of magnitude).  'no (budget hit)' rows mean SA\n"
+              "exhausted its budget without matching OS, i.e. the true ratio "
+              "is even larger than reported.\n");
+  return 0;
+}

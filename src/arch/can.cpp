@@ -1,0 +1,61 @@
+#include "mcs/arch/can.hpp"
+
+#include "mcs/util/math.hpp"
+
+namespace mcs::arch {
+
+std::int64_t worst_case_frame_bits(std::int64_t bytes, CanFrameFormat fmt) {
+  if (bytes < 0 || bytes > 8) {
+    throw std::invalid_argument("worst_case_frame_bits: payload must be 0..8 bytes");
+  }
+  // Stuffable region: SOF .. CRC sequence.  For a standard frame that is
+  // 34 control bits + payload; for an extended frame 54 control bits +
+  // payload.  One stuff bit can be inserted after every 4 bits following
+  // the first 5 identical bits, hence floor((g + 8s - 1) / 4).
+  const std::int64_t payload_bits = 8 * bytes;
+  const std::int64_t g = (fmt == CanFrameFormat::Standard) ? 34 : 54;
+  const std::int64_t stuff = (g + payload_bits - 1) / 4;
+  // Unstuffable tail: CRC delimiter, ACK slot + delimiter, EOF (7),
+  // inter-frame space (3) = 13 bits; total fixed overhead incl. stuffable
+  // control bits is 47 (standard) / 67 (extended).
+  const std::int64_t fixed = (fmt == CanFrameFormat::Standard) ? 47 : 67;
+  return fixed + payload_bits + stuff;
+}
+
+std::int64_t frames_for(std::int64_t bytes) {
+  if (bytes <= 0) throw std::invalid_argument("frames_for: size must be positive");
+  return util::ceil_div(bytes, 8);
+}
+
+CanBusParams CanBusParams::exact(Time bit_time, CanFrameFormat fmt) {
+  if (bit_time <= 0) throw std::invalid_argument("CanBusParams::exact: bit_time <= 0");
+  CanBusParams p;
+  p.exact_ = true;
+  p.bit_time_ = bit_time;
+  p.fmt_ = fmt;
+  return p;
+}
+
+CanBusParams CanBusParams::linear(Time base, Time per_byte) {
+  if (base <= 0 && per_byte <= 0) {
+    throw std::invalid_argument("CanBusParams::linear: tx time must be positive");
+  }
+  CanBusParams p;
+  p.exact_ = false;
+  p.base_ = base;
+  p.per_byte_ = per_byte;
+  return p;
+}
+
+Time CanBusParams::tx_time(std::int64_t bytes) const {
+  if (bytes <= 0) throw std::invalid_argument("CanBusParams::tx_time: size must be positive");
+  if (!exact_) return base_ + per_byte_ * bytes;
+  // Segment into full 8-byte frames plus a remainder frame.
+  const std::int64_t full = bytes / 8;
+  const std::int64_t rest = bytes % 8;
+  Time t = full * worst_case_frame_bits(8, fmt_) * bit_time_;
+  if (rest > 0) t += worst_case_frame_bits(rest, fmt_) * bit_time_;
+  return t;
+}
+
+}  // namespace mcs::arch

@@ -1,0 +1,49 @@
+#include "mcs/arch/platform.hpp"
+
+#include <stdexcept>
+
+namespace mcs::arch {
+
+NodeId Platform::add_tt_node(std::string name) {
+  const NodeId id(static_cast<NodeId::underlying_type>(nodes_.size()));
+  nodes_.push_back(Node{std::move(name), ClusterKind::TimeTriggered, false});
+  return id;
+}
+
+NodeId Platform::add_et_node(std::string name) {
+  const NodeId id(static_cast<NodeId::underlying_type>(nodes_.size()));
+  nodes_.push_back(Node{std::move(name), ClusterKind::EventTriggered, false});
+  return id;
+}
+
+NodeId Platform::add_gateway(std::string name) {
+  if (gateway_.valid()) throw std::logic_error("Platform: gateway already added");
+  const NodeId id(static_cast<NodeId::underlying_type>(nodes_.size()));
+  // Listed under the TTC so it participates in TDMA slot assignment; its
+  // CAN membership is implied by is_gateway.
+  nodes_.push_back(Node{std::move(name), ClusterKind::TimeTriggered, true});
+  gateway_ = id;
+  return id;
+}
+
+std::vector<NodeId> Platform::ttp_slot_owners() const {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].cluster == ClusterKind::TimeTriggered) {
+      out.push_back(NodeId(static_cast<NodeId::underlying_type>(i)));
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> Platform::et_nodes() const {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].cluster == ClusterKind::EventTriggered) {
+      out.push_back(NodeId(static_cast<NodeId::underlying_type>(i)));
+    }
+  }
+  return out;
+}
+
+}  // namespace mcs::arch

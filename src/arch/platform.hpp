@@ -1,0 +1,92 @@
+// Hardware platform model (paper §2.2).
+//
+// A two-cluster architecture: a time-triggered cluster (TTC) whose nodes
+// share a TTP/TDMA bus, an event-triggered cluster (ETC) whose nodes share
+// a CAN bus, and a gateway node connected to both buses that routes
+// inter-cluster traffic.  (The paper notes the approach extends to several
+// clusters; the Platform type supports any number of nodes per cluster,
+// with exactly one gateway between the two buses.)
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mcs/arch/can.hpp"
+#include "mcs/arch/ttp.hpp"
+#include "mcs/util/ids.hpp"
+
+namespace mcs::arch {
+
+using util::NodeId;
+
+enum class ClusterKind {
+  TimeTriggered,   ///< static cyclic scheduling, TTP bus
+  EventTriggered,  ///< fixed-priority preemptive scheduling, CAN bus
+};
+
+struct Node {
+  std::string name;
+  ClusterKind cluster = ClusterKind::TimeTriggered;
+  bool is_gateway = false;  ///< member of both clusters
+};
+
+/// The gateway transfer process T (paper §2.3): invoked with the highest
+/// priority on the gateway node, it moves frames between the TTP MBI and
+/// the CAN-side queues.  Running at the highest priority its worst-case
+/// response time is its WCET (r_T = C_T); the period must be short enough
+/// that no MBI message is overwritten before being copied.
+struct GatewayTransferParams {
+  util::Time wcet = 0;    ///< C_T
+  util::Time period = 0;  ///< invocation period (0 = interrupt-driven)
+};
+
+class Platform {
+public:
+  Platform(TtpBusParams ttp, CanBusParams can)
+      : ttp_(ttp), can_(can) {}
+
+  NodeId add_tt_node(std::string name);
+  NodeId add_et_node(std::string name);
+
+  /// Adds the (single) gateway.  The gateway owns a TTP slot and competes
+  /// on CAN; it is listed as a TTC node for slot-assignment purposes.
+  NodeId add_gateway(std::string name);
+
+  [[nodiscard]] std::span<const Node> nodes() const noexcept { return nodes_; }
+  [[nodiscard]] const Node& node(NodeId n) const { return nodes_.at(n.index()); }
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return nodes_.size(); }
+
+  [[nodiscard]] bool has_gateway() const noexcept { return gateway_.valid(); }
+  [[nodiscard]] NodeId gateway() const noexcept { return gateway_; }
+
+  void set_gateway_transfer(GatewayTransferParams params) noexcept { transfer_ = params; }
+  [[nodiscard]] const GatewayTransferParams& gateway_transfer() const noexcept {
+    return transfer_;
+  }
+
+  [[nodiscard]] bool is_tt(NodeId n) const {
+    return node(n).cluster == ClusterKind::TimeTriggered;
+  }
+  [[nodiscard]] bool is_et(NodeId n) const {
+    return node(n).cluster == ClusterKind::EventTriggered;
+  }
+
+  /// Nodes that need a TTP slot: all TTC nodes including the gateway.
+  [[nodiscard]] std::vector<NodeId> ttp_slot_owners() const;
+
+  /// Pure ETC nodes (excluding the gateway).
+  [[nodiscard]] std::vector<NodeId> et_nodes() const;
+
+  [[nodiscard]] const TtpBusParams& ttp() const noexcept { return ttp_; }
+  [[nodiscard]] const CanBusParams& can() const noexcept { return can_; }
+
+private:
+  std::vector<Node> nodes_;
+  NodeId gateway_ = NodeId::invalid();
+  TtpBusParams ttp_;
+  CanBusParams can_;
+  GatewayTransferParams transfer_;
+};
+
+}  // namespace mcs::arch

@@ -1,0 +1,106 @@
+#include "mcs/arch/ttp.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "mcs/util/math.hpp"
+
+namespace mcs::arch {
+
+TdmaRound::TdmaRound(std::vector<Slot> slots, TtpBusParams params)
+    : slots_(std::move(slots)), params_(params) {
+  if (slots_.empty()) throw std::invalid_argument("TdmaRound: no slots");
+  if (params_.time_per_byte <= 0) {
+    throw std::invalid_argument("TdmaRound: time_per_byte must be positive");
+  }
+  std::unordered_set<NodeId> owners;
+  offsets_.reserve(slots_.size());
+  for (const Slot& s : slots_) {
+    if (!s.owner.valid()) throw std::invalid_argument("TdmaRound: slot without owner");
+    if (s.length <= 0) throw std::invalid_argument("TdmaRound: slot length must be positive");
+    if (!owners.insert(s.owner).second) {
+      // "A node can have only one slot in a TDMA round."
+      throw std::invalid_argument("TdmaRound: node owns more than one slot");
+    }
+    offsets_.push_back(round_length_);
+    round_length_ += s.length;
+  }
+}
+
+std::size_t TdmaRound::slot_of(NodeId node) const {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].owner == node) return i;
+  }
+  throw std::out_of_range("TdmaRound::slot_of: node owns no slot");
+}
+
+bool TdmaRound::owns_slot(NodeId node) const noexcept {
+  for (const Slot& s : slots_) {
+    if (s.owner == node) return true;
+  }
+  return false;
+}
+
+Time TdmaRound::slot_offset(std::size_t i) const {
+  return offsets_.at(i);
+}
+
+std::int64_t TdmaRound::slot_capacity(std::size_t i) const {
+  return params_.capacity_bytes(slots_.at(i).length);
+}
+
+Time TdmaRound::next_slot_start(std::size_t i, Time t) const {
+  const Time offset = slot_offset(i);
+  if (t <= offset) return offset;
+  // First round index k with k * round + offset >= t.
+  const std::int64_t k = util::ceil_div(t - offset, round_length_);
+  return k * round_length_ + offset;
+}
+
+Time TdmaRound::next_slot_end(std::size_t i, Time t) const {
+  return next_slot_start(i, t) + slots_.at(i).length;
+}
+
+Time TdmaRound::kth_slot_end(std::size_t i, Time t, std::int64_t k) const {
+  if (k < 1) throw std::invalid_argument("kth_slot_end: k must be >= 1");
+  return next_slot_start(i, t) + (k - 1) * round_length_ + slots_.at(i).length;
+}
+
+TdmaRound TdmaRound::with_swapped_slots(std::size_t a, std::size_t b) const {
+  auto slots = slots_;
+  std::swap(slots.at(a), slots.at(b));
+  return TdmaRound(std::move(slots), params_);
+}
+
+TdmaRound TdmaRound::with_slot_length(std::size_t i, Time new_length) const {
+  auto slots = slots_;
+  slots.at(i).length = new_length;
+  return TdmaRound(std::move(slots), params_);
+}
+
+std::string TdmaRound::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (i > 0) os << " ";
+    os << "S(N" << slots_[i].owner.value() << ",len=" << slots_[i].length << ")";
+  }
+  os << " round=" << round_length_ << "]";
+  return os.str();
+}
+
+std::vector<MedlEntry> expand_medl(const TdmaRound& round, Time horizon) {
+  if (horizon <= 0) throw std::invalid_argument("expand_medl: horizon must be positive");
+  std::vector<MedlEntry> medl;
+  for (Time base = 0; base < horizon; base += round.round_length()) {
+    for (std::size_t i = 0; i < round.num_slots(); ++i) {
+      const Time start = base + round.slot_offset(i);
+      if (start >= horizon) break;
+      medl.push_back(MedlEntry{i, round.slot(i).owner, start, round.slot(i).length});
+    }
+  }
+  return medl;
+}
+
+}  // namespace mcs::arch

@@ -1,0 +1,46 @@
+#include "mcs/core/analysis_types.hpp"
+
+namespace mcs::core {
+
+MessageRoute classify_route(const model::Application& app,
+                            const arch::Platform& platform, util::MessageId m) {
+  const model::Message& msg = app.message(m);
+  const util::NodeId src = app.process(msg.src).node;
+  const util::NodeId dst = app.process(msg.dst).node;
+  if (src == dst) return MessageRoute::Local;
+  const bool src_tt = platform.is_tt(src);
+  const bool dst_tt = platform.is_tt(dst);
+  if (src_tt && dst_tt) return MessageRoute::TtToTt;
+  if (!src_tt && !dst_tt) return MessageRoute::EtToEt;
+  if (src_tt) return MessageRoute::TtToEt;
+  return MessageRoute::EtToTt;
+}
+
+std::string to_string(MessageRoute route) {
+  switch (route) {
+    case MessageRoute::Local: return "local";
+    case MessageRoute::TtToTt: return "TT->TT";
+    case MessageRoute::EtToEt: return "ET->ET";
+    case MessageRoute::TtToEt: return "TT->ET";
+    case MessageRoute::EtToTt: return "ET->TT";
+  }
+  return "?";
+}
+
+bool is_schedulable(const model::Application& app, const AnalysisResult& result,
+                    const std::vector<util::Time>& process_offsets) {
+  if (!result.converged) return false;
+  for (std::size_t gi = 0; gi < app.num_graphs(); ++gi) {
+    if (result.graph_response.at(gi) > app.graphs()[gi].deadline) return false;
+  }
+  for (std::size_t pi = 0; pi < app.num_processes(); ++pi) {
+    const model::Process& p = app.processes()[pi];
+    if (!p.local_deadline) continue;
+    const util::Time completion =
+        util::sat_add(process_offsets.at(pi), result.process_response.at(pi));
+    if (completion > *p.local_deadline) return false;
+  }
+  return true;
+}
+
+}  // namespace mcs::core

@@ -1,0 +1,19 @@
+#include "mcs/core/degree_of_schedulability.hpp"
+
+#include <algorithm>
+
+namespace mcs::core {
+
+Schedulability degree_of_schedulability(const model::Application& app,
+                                        const AnalysisResult& analysis) {
+  Schedulability s;
+  for (std::size_t gi = 0; gi < app.num_graphs(); ++gi) {
+    const util::Time lateness =
+        analysis.graph_response.at(gi) - app.graphs()[gi].deadline;
+    s.f1 = util::sat_add(s.f1, std::max<util::Time>(0, lateness));
+    s.f2 = util::sat_add(s.f2, lateness);
+  }
+  return s;
+}
+
+}  // namespace mcs::core

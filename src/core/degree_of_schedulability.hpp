@@ -1,0 +1,43 @@
+// Degree of schedulability (paper §5.1, following reference [12]).
+//
+//   delta_Gamma = f1 = sum_i max(0, R_Gi - D_Gi)   when f1 > 0
+//               = f2 = sum_i (R_Gi - D_Gi)         when f1 = 0
+//
+// f1 > 0 quantifies *how un-schedulable* a configuration is; when every
+// graph meets its deadline, f2 (a negative number) differentiates between
+// schedulable alternatives — smaller (more negative) means better response
+// times.  delta is therefore a COST to minimize in every optimizer here
+// (the paper's SAS anneals on exactly this value).
+#pragma once
+
+#include "mcs/core/analysis_types.hpp"
+
+namespace mcs::core {
+
+struct Schedulability {
+  /// Sum of positive lateness over all graphs (0 when schedulable).
+  util::Time f1 = 0;
+  /// Sum of (R - D) over all graphs (meaningful when f1 == 0).
+  util::Time f2 = 0;
+
+  [[nodiscard]] bool schedulable() const noexcept { return f1 == 0; }
+
+  /// The scalar cost delta: f1 when positive, else f2.
+  [[nodiscard]] util::Time delta() const noexcept { return f1 > 0 ? f1 : f2; }
+
+  /// Strict-weak-order: a is better than b when (f1, f2) is
+  /// lexicographically smaller — an unschedulable config never beats a
+  /// schedulable one regardless of f2 magnitudes.
+  friend bool operator<(const Schedulability& a, const Schedulability& b) noexcept {
+    if (a.f1 != b.f1) return a.f1 < b.f1;
+    return a.f2 < b.f2;
+  }
+};
+
+/// Computes delta from graph responses and deadlines.  A non-converged
+/// analysis contributes its capped (huge but finite) lateness values, so
+/// optimizer cost comparisons still order such configurations sensibly.
+[[nodiscard]] Schedulability degree_of_schedulability(const model::Application& app,
+                                                      const AnalysisResult& analysis);
+
+}  // namespace mcs::core

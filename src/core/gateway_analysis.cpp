@@ -1,0 +1,41 @@
+#include "mcs/core/gateway_analysis.hpp"
+
+#include <stdexcept>
+
+#include "mcs/util/math.hpp"
+
+namespace mcs::core {
+
+TtpDrainResult ttp_drain(const arch::TdmaRound& tdma, std::size_t sg_slot,
+                         util::Time arrival, std::int64_t bytes,
+                         TtpQueueModel model) {
+  if (bytes <= 0) throw std::invalid_argument("ttp_drain: bytes must be positive");
+  const std::int64_t capacity = tdma.slot_capacity(sg_slot);
+  if (capacity <= 0) {
+    throw std::invalid_argument("ttp_drain: gateway slot has zero payload capacity");
+  }
+  const std::int64_t rounds = util::ceil_div(bytes, capacity);
+
+  TtpDrainResult result;
+  result.rounds = rounds;
+  switch (model) {
+    case TtpQueueModel::Exact: {
+      result.delivery = tdma.kth_slot_end(sg_slot, arrival, rounds);
+      break;
+    }
+    case TtpQueueModel::PaperFormula: {
+      // B_m = T_TDMA - O_m mod T_TDMA + O_SG  (worst phase w.r.t. the round)
+      const util::Time t_tdma = tdma.round_length();
+      const util::Time o_sg = tdma.slot_offset(sg_slot);
+      const util::Time b =
+          t_tdma - util::floor_mod(arrival, t_tdma) + o_sg;
+      const util::Time wait = b + rounds * t_tdma;
+      result.delivery = arrival + wait + tdma.slot(sg_slot).length;
+      break;
+    }
+  }
+  result.wait = result.delivery - arrival;
+  return result;
+}
+
+}  // namespace mcs::core

@@ -1,0 +1,48 @@
+// Gateway OutTTP drain analysis (paper §4.1.2).
+//
+// Messages travelling ETC -> TTC wait in the gateway's OutTTP FIFO and are
+// drained by the gateway's TDMA slot S_G: every round, the frontmost
+// messages not exceeding size_SG bytes are packed into the S_G frame.
+//
+// Two models of the worst-case delivery instant are provided (DESIGN.md §3):
+//
+//  * Exact — walks the TDMA calendar: a payload of `bytes` arriving at
+//    `arrival` needs k = ceil(bytes / size_SG) occurrences of S_G, the
+//    first being the earliest occurrence whose start is >= arrival; the
+//    delivery is the end of the k-th occurrence.  Delivery is a monotone
+//    step function of the arrival time, so evaluating it at the worst-case
+//    arrival is sound.  This model reproduces the paper's Figure 4 worked
+//    example (O4 = 180).
+//
+//  * PaperFormula — the literal closed form
+//        w = B_m + ceil((S_m + I_m)/size_SG) * T_TDMA,
+//        B_m = T_TDMA - O_m mod T_TDMA + O_SG,
+//    which over-approximates the wait (it always charges at least one full
+//    round plus the worst slot phase).  Kept for comparison; the property
+//    tests assert PaperFormula >= Exact everywhere.
+#pragma once
+
+#include <cstdint>
+
+#include "mcs/arch/ttp.hpp"
+#include "mcs/core/analysis_types.hpp"
+
+namespace mcs::core {
+
+struct TtpDrainResult {
+  util::Time delivery = 0;   ///< absolute instant the last byte is on the TTC
+  util::Time wait = 0;       ///< delivery - arrival (queuing + transmission)
+  std::int64_t rounds = 0;   ///< S_G occurrences consumed
+};
+
+/// Worst-case delivery of `bytes` payload (the message plus everything
+/// queued ahead of it) arriving in OutTTP at `arrival`.
+/// `sg_slot` is the gateway's slot index in the round.
+/// Throws std::invalid_argument when the gateway slot has zero capacity
+/// (such configurations are unschedulable by construction and the callers
+/// must filter them out first).
+[[nodiscard]] TtpDrainResult ttp_drain(const arch::TdmaRound& tdma,
+                                       std::size_t sg_slot, util::Time arrival,
+                                       std::int64_t bytes, TtpQueueModel model);
+
+}  // namespace mcs::core

@@ -1,0 +1,100 @@
+#include "mcs/core/multi_cluster_scheduling.hpp"
+
+#include <algorithm>
+
+#include "mcs/util/log.hpp"
+
+namespace mcs::core {
+
+bool McsResult::schedulable(const model::Application& app) const {
+  return is_schedulable(app, analysis, analysis.process_offsets);
+}
+
+McsResult multi_cluster_scheduling(const model::Application& app,
+                                   const arch::Platform& platform,
+                                   SystemConfig& config,
+                                   const sched::ScheduleConstraints& extra_constraints,
+                                   const McsOptions& options,
+                                   const model::ReachabilityIndex& reachability) {
+  McsResult result;
+
+  sched::ScheduleConstraints constraints = extra_constraints;
+  if (constraints.process_release.empty()) {
+    constraints.process_release.assign(app.num_processes(), 0);
+  }
+  if (constraints.message_tx.empty()) {
+    constraints.message_tx.assign(app.num_messages(), 0);
+  }
+
+  std::vector<util::Time> previous_offsets;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // phi = StaticScheduling(Gamma, rho, beta): list scheduling under the
+    // current worst-case ETC->TTC delivery constraints.
+    result.schedule = sched::list_schedule(app, platform, config.tdma(), constraints);
+    for (std::size_t pi = 0; pi < app.num_processes(); ++pi) {
+      const util::ProcessId p(static_cast<util::ProcessId::underlying_type>(pi));
+      if (platform.is_tt(app.process(p).node)) {
+        config.set_process_offset(p, result.schedule.process_start[pi]);
+      }
+    }
+
+    // rho = ResponseTimeAnalysis(Gamma, phi, pi).
+    AnalysisInput input;
+    input.app = &app;
+    input.platform = &platform;
+    input.config = &config;
+    input.ttc_schedule = &result.schedule;
+    input.options = options.analysis;
+    result.analysis = response_time_analysis(input, reachability);
+
+    // Feed worst-case ETC->TTC deliveries back as TT release constraints.
+    bool constraints_changed = false;
+    for (std::size_t mi = 0; mi < app.num_messages(); ++mi) {
+      const util::MessageId m(static_cast<util::MessageId::underlying_type>(mi));
+      if (classify_route(app, platform, m) != MessageRoute::EtToTt) continue;
+      const util::ProcessId dst = app.message(m).dst;
+      const util::Time delivery = result.analysis.message_delivery[mi];
+      if (delivery > constraints.process_release[dst.index()]) {
+        constraints.process_release[dst.index()] = delivery;
+        constraints_changed = true;
+      }
+    }
+
+    // phi fixed point: schedule offsets stable and no new constraints.
+    if (!constraints_changed &&
+        result.schedule.process_start == previous_offsets) {
+      result.converged = result.analysis.converged;
+      break;
+    }
+    previous_offsets = result.schedule.process_start;
+  }
+
+  // Publish the derived offsets (ET releases, message offsets) into phi.
+  for (std::size_t pi = 0; pi < app.num_processes(); ++pi) {
+    const util::ProcessId p(static_cast<util::ProcessId::underlying_type>(pi));
+    config.set_process_offset(p, result.analysis.process_offsets[pi]);
+  }
+  for (std::size_t mi = 0; mi < app.num_messages(); ++mi) {
+    const util::MessageId m(static_cast<util::MessageId::underlying_type>(mi));
+    config.set_message_offset(m, result.analysis.message_offsets[mi]);
+  }
+
+  if (!result.converged) {
+    MCS_LOG(Debug) << "multi_cluster_scheduling: no fixed point after "
+                   << result.iterations << " iterations";
+  }
+  return result;
+}
+
+McsResult multi_cluster_scheduling(const model::Application& app,
+                                   const arch::Platform& platform,
+                                   SystemConfig& config, const McsOptions& options) {
+  const model::ReachabilityIndex reachability(app);
+  return multi_cluster_scheduling(app, platform, config,
+                                  sched::ScheduleConstraints::none(app), options,
+                                  reachability);
+}
+
+}  // namespace mcs::core

@@ -1,0 +1,54 @@
+// The MultiClusterScheduling algorithm (paper §4, Figure 5).
+//
+// Determining schedulability of a multi-cluster system cannot be done per
+// cluster: the TTC static schedule fixes offsets that shape the ETC
+// response times, and the ETC response times (worst-case deliveries of
+// ETC->TTC messages) constrain where TT processes may be placed.  The
+// algorithm iterates:
+//
+//   repeat
+//     rho = ResponseTimeAnalysis(Gamma, phi, pi)   -- ETC + gateway queues
+//     phi = StaticScheduling(Gamma, rho, beta)     -- TTC list scheduling
+//   until phi unchanged
+//
+// starting from a TTC schedule that ignores the ETC.  Offsets only grow
+// across iterations, so the loop terminates whenever loads are below 100%
+// and deadlines are below periods; an iteration cap turns pathological
+// inputs into a clean "not converged" verdict.
+#pragma once
+
+#include "mcs/core/response_time_analysis.hpp"
+
+namespace mcs::core {
+
+struct McsResult {
+  sched::TtcSchedule schedule;   ///< final TTC schedule tables + MEDL content
+  AnalysisResult analysis;       ///< final worst-case quantities
+  bool converged = false;        ///< offsets reached a fixed point
+  int iterations = 0;
+
+  [[nodiscard]] bool schedulable(const model::Application& app) const;
+};
+
+struct McsOptions {
+  AnalysisOptions analysis;
+  int max_iterations = 16;
+};
+
+/// Runs the fixed point.  `config` supplies beta and pi and receives the
+/// synthesized phi (TT process offsets, message offsets).
+/// `extra_constraints` lets the optimizers pin TTC activities later than
+/// their natural ASAP position (OptimizeResources move set); pass
+/// ScheduleConstraints::none(app) when unused.
+[[nodiscard]] McsResult multi_cluster_scheduling(
+    const model::Application& app, const arch::Platform& platform,
+    SystemConfig& config, const sched::ScheduleConstraints& extra_constraints,
+    const McsOptions& options, const model::ReachabilityIndex& reachability);
+
+/// Convenience overload building its own reachability index.
+[[nodiscard]] McsResult multi_cluster_scheduling(const model::Application& app,
+                                                 const arch::Platform& platform,
+                                                 SystemConfig& config,
+                                                 const McsOptions& options = {});
+
+}  // namespace mcs::core

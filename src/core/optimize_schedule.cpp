@@ -1,0 +1,116 @@
+#include "mcs/core/optimize_schedule.hpp"
+
+#include <algorithm>
+
+#include "mcs/util/log.hpp"
+
+namespace mcs::core {
+
+namespace {
+
+/// Keeps the seed list bounded and sorted: schedulable low-buffer seeds
+/// first, then best-delta seeds (the two "intelligent initial solution"
+/// families of §5.1).
+void record_seed(std::vector<SeedSolution>& seeds, const Candidate& candidate,
+                 const Evaluation& eval, std::size_t max_seeds) {
+  SeedSolution seed{candidate, eval.delta, eval.s_total, eval.schedulable};
+  seeds.push_back(std::move(seed));
+  std::sort(seeds.begin(), seeds.end(),
+            [](const SeedSolution& a, const SeedSolution& b) {
+              if (a.schedulable != b.schedulable) return a.schedulable;
+              if (a.schedulable) {
+                if (a.s_total != b.s_total) return a.s_total < b.s_total;
+                return a.delta < b.delta;
+              }
+              return a.delta < b.delta;
+            });
+  // Drop duplicates by (delta, s_total) to keep the list diverse.
+  seeds.erase(std::unique(seeds.begin(), seeds.end(),
+                          [](const SeedSolution& a, const SeedSolution& b) {
+                            return a.s_total == b.s_total &&
+                                   a.delta.f1 == b.delta.f1 &&
+                                   a.delta.f2 == b.delta.f2;
+                          }),
+              seeds.end());
+  if (seeds.size() > max_seeds) {
+    seeds.erase(seeds.begin() + static_cast<std::ptrdiff_t>(max_seeds), seeds.end());
+  }
+}
+
+}  // namespace
+
+OptimizeScheduleResult optimize_schedule(const MoveContext& ctx,
+                                         const OptimizeScheduleOptions& options) {
+  const model::Application& app = ctx.app();
+  const arch::Platform& platform = ctx.platform();
+
+  OptimizeScheduleResult result{Candidate::initial(app, platform), {}, {}, 0};
+  Candidate current = result.best;
+
+  // Evaluate a candidate: HOPA priorities for its beta, then one full
+  // evaluation for the buffer/schedulability metrics.
+  auto evaluate_with_hopa = [&](Candidate& cand) -> Evaluation {
+    const HopaResult hopa = hopa_priorities(app, platform, cand.tdma,
+                                            ctx.reachability(), options.hopa);
+    cand.process_priorities = hopa.process_priorities;
+    cand.message_priorities = hopa.message_priorities;
+    result.evaluations += hopa.iterations + 1;
+    return ctx.evaluate(cand);
+  };
+
+  bool have_best = false;
+  auto consider = [&](const Candidate& cand, const Evaluation& eval) {
+    record_seed(result.seeds, cand, eval, options.max_seeds);
+    // psi_best is chosen on the degree of schedulability alone (Figure 8);
+    // buffer frugality is the second step's job (OptimizeResources).
+    const bool better = !have_best || eval.delta < result.best_eval.delta;
+    if (better) {
+      result.best = cand;
+      result.best_eval = eval;
+      have_best = true;
+    }
+  };
+
+  const std::size_t num_slots = current.tdma.num_slots();
+  for (std::size_t position = 0; position < num_slots; ++position) {
+    // Try every node currently occupying position..end in this position.
+    std::optional<Candidate> best_here;
+    std::optional<Evaluation> best_here_eval;
+
+    for (std::size_t from = position; from < num_slots; ++from) {
+      Candidate trial = current;
+      if (from != position) {
+        trial.tdma = trial.tdma.with_swapped_slots(position, from);
+      }
+      const util::NodeId owner = trial.tdma.slot(position).owner;
+      auto lengths = ctx.slot_lengths(owner);
+      if (lengths.size() > options.max_lengths_per_slot) {
+        lengths.resize(options.max_lengths_per_slot);
+      }
+      for (const util::Time length : lengths) {
+        Candidate sized = trial;
+        if (sized.tdma.slot(position).length != length) {
+          sized.tdma = sized.tdma.with_slot_length(position, length);
+        }
+        Evaluation eval = evaluate_with_hopa(sized);
+        consider(sized, eval);
+        const bool better_here =
+            !best_here_eval || eval.delta < best_here_eval->delta;
+        if (better_here) {
+          best_here = sized;
+          best_here_eval = eval;
+        }
+      }
+    }
+    // Make the binding for this position permanent (S_i = S_best).
+    if (best_here) current = *best_here;
+  }
+
+  MCS_LOG(Info) << "optimize_schedule: " << result.evaluations
+                << " evaluations, best delta f1=" << result.best_eval.delta.f1
+                << " f2=" << result.best_eval.delta.f2
+                << " s_total=" << result.best_eval.s_total;
+  return result;
+}
+
+}  // namespace mcs::core

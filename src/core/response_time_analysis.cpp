@@ -1,0 +1,645 @@
+#include "mcs/core/response_time_analysis.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "mcs/core/gateway_analysis.hpp"
+#include "mcs/util/math.hpp"
+
+namespace mcs::core {
+
+namespace {
+
+using model::Application;
+using model::Message;
+using model::Process;
+using util::MessageId;
+using util::NodeId;
+using util::ProcessId;
+using util::Time;
+
+/// Number of activations of interferer j that can fall inside a level-i
+/// busy window.
+///
+///  * `window`  — length of the busy window, anchored at i's release;
+///  * `ji`      — i's own release jitter: i's actual release may drift
+///                this far past its offset, shifting the window right and
+///                scooping up later j releases;
+///  * `jj`      — j's release jitter;
+///  * `phase`   — (O_j - O_i) mod T_j, the offset phase of j's first
+///                release at/after i's;
+///  * `tj`      — j's period;
+///  * `span_j`  — worst-case time an instance of j stays pending after
+///                its release (used for carry-in: an instance released
+///                BEFORE i's window can still be unserved at its start).
+///
+/// The boundary convention floor(x/T)+1 for x >= 0 counts a simultaneous
+/// release as one activation, matching the critical instant and giving
+/// the recurrence a non-degenerate least fixed point.
+[[nodiscard]] std::int64_t interfering_activations(Time window, Time ji, Time jj,
+                                                   Time phase, Time tj,
+                                                   Time span_j) {
+  const Time x = window + ji + jj - phase;
+  std::int64_t n = (x < 0) ? 0 : x / tj + 1;
+  // Carry-in: the previous instance of j released `distance` before the
+  // window anchor; it contributes when it can still be pending then.
+  const Time distance = (phase == 0) ? tj : tj - phase;
+  if (span_j + ji > distance) {
+    n += util::ceil_div(span_j + ji - distance, tj);
+  }
+  return n;
+}
+
+/// All mutable per-activity state of the fixed-point iteration.  Every
+/// field is monotonically non-decreasing across iterations, which (with
+/// the divergence cap) guarantees termination.
+struct State {
+  // Processes.
+  std::vector<Time> o_p, e_p, j_p, w_p, r_p;
+  // Messages.
+  std::vector<Time> o_m, e_m, j_m, w_m, r_m, d_m, ttp_wait;
+  std::vector<std::int64_t> i_m;  ///< bytes ahead in OutTTP
+};
+
+struct Ctx {
+  const Application& app;
+  const arch::Platform& platform;
+  const SystemConfig& cfg;
+  const sched::TtcSchedule& ttc;
+  const AnalysisOptions& opt;
+  const model::ReachabilityIndex& reach;
+
+  std::vector<MessageRoute> route;
+  std::vector<Time> can_tx;              ///< C_m on the CAN bus (0 if not CAN-borne)
+  std::vector<bool> can_borne;
+  std::vector<std::vector<ProcessId>> et_procs_by_node;  ///< dense by node index
+  std::vector<MessageId> can_messages;
+  std::vector<MessageId> et_to_tt;
+  std::vector<MessageId> tt_to_et;
+  std::vector<std::vector<ProcessId>> topo;  ///< per graph
+  bool has_sg_slot = false;
+  std::size_t sg_slot = 0;
+  Time r_transfer = 0;  ///< r_T of the gateway transfer process
+  Time cap = 0;         ///< divergence cap
+  int diverged = 0;
+  bool changed = false;  ///< any state value grew in the current pass
+
+  [[nodiscard]] Time period_of(MessageId m) const { return app.period_of(m); }
+  [[nodiscard]] Time period_of(ProcessId p) const { return app.period_of(p); }
+};
+
+/// Monotone update helper: raises `slot` to `value` (clamped at the cap),
+/// recording changes and divergence.
+void raise(Ctx& ctx, Time& slot, Time value) {
+  if (value > ctx.cap) {
+    value = ctx.cap;
+    ++ctx.diverged;
+  }
+  if (value > slot) {
+    slot = value;
+    ctx.changed = true;
+  }
+}
+
+[[nodiscard]] bool same_graph(const Ctx& ctx, MessageId a, MessageId b) {
+  return ctx.app.message(a).graph == ctx.app.message(b).graph;
+}
+
+/// Window-disjointness pruning is sound whenever the two activities have a
+/// FIXED phase relationship, i.e. equal periods: all their releases share
+/// one hyper-frame, so provably disjoint busy windows never interact (the
+/// application behaves as a single transaction with static offsets, in
+/// Palencia/Gonzalez Harbour terms).  Differing periods shift phases every
+/// period, so only the conservative periodic term applies there.
+[[nodiscard]] bool fixed_phase(const Ctx& ctx, MessageId a, MessageId b) {
+  return ctx.period_of(a) == ctx.period_of(b);
+}
+
+[[nodiscard]] bool fixed_phase_p(const Ctx& ctx, ProcessId a, ProcessId b) {
+  return ctx.period_of(a) == ctx.period_of(b);
+}
+
+/// Messages are precedence-related when one's destination (transitively)
+/// feeds the other's sender: the first is then fully delivered before the
+/// second can be enqueued.
+[[nodiscard]] bool messages_related(const Ctx& ctx, MessageId a, MessageId b) {
+  const Message& ma = ctx.app.message(a);
+  const Message& mb = ctx.app.message(b);
+  return ctx.reach.reaches(ma.dst, mb.src) || ctx.reach.reaches(mb.dst, ma.src);
+}
+
+/// Offset-window pruning (DESIGN.md §3): can higher-priority message j
+/// interfere with m?  Conservative "yes" across graphs and whenever the
+/// windows might overlap.
+[[nodiscard]] bool message_can_interfere(const Ctx& ctx, const State& s,
+                                         MessageId j, MessageId m) {
+  if (!ctx.opt.offset_pruning) return true;
+  if (same_graph(ctx, j, m) && messages_related(ctx, j, m)) return false;
+  if (!fixed_phase(ctx, j, m)) return true;
+  const Time latest_m = s.o_m[m.index()] + s.j_m[m.index()] + s.w_m[m.index()] +
+                        ctx.can_tx[m.index()];
+  if (s.d_m[j.index()] <= s.e_m[m.index()]) return false;  // j gone before m exists
+  if (s.e_m[j.index()] >= latest_m) return false;  // j arrives after m is done
+  return true;
+}
+
+/// Can lower-priority message k block m (non-preemptive transmission)?
+/// k must be able to start transmission strictly before m's latest arrival.
+/// Messages of the same sender are enqueued by one send call (or delivered
+/// by one TTP frame / transfer invocation), so their arrivals coincide and
+/// arbitration always favors the higher priority one: no blocking between
+/// them.  This is what makes w_m1 = 0 (and hence J_2 = r_m1 = 15) in the
+/// paper's Figure 4a.
+[[nodiscard]] bool message_can_block(const Ctx& ctx, const State& s, MessageId k,
+                                     MessageId m) {
+  if (!ctx.opt.offset_pruning) return true;
+  if (ctx.app.message(k).src == ctx.app.message(m).src) return false;
+  if (same_graph(ctx, k, m) && messages_related(ctx, k, m)) return false;
+  if (!fixed_phase(ctx, k, m)) return true;
+  if (s.e_m[k.index()] >= s.o_m[m.index()] + s.j_m[m.index()]) return false;
+  if (s.d_m[k.index()] <= s.e_m[m.index()]) return false;
+  return true;
+}
+
+[[nodiscard]] bool process_can_interfere(const Ctx& ctx, const State& s,
+                                         ProcessId j, ProcessId i) {
+  if (!ctx.opt.offset_pruning) return true;
+  if (ctx.app.process(j).graph == ctx.app.process(i).graph &&
+      ctx.reach.related(j, i)) {
+    return false;
+  }
+  if (!fixed_phase_p(ctx, j, i)) return true;
+  // s.w_p is the full busy window (own WCET included).
+  const Time latest_i =
+      s.o_p[i.index()] + s.j_p[i.index()] +
+      std::max(s.w_p[i.index()], ctx.app.process(i).wcet);
+  if (s.o_p[j.index()] + s.r_p[j.index()] <= s.e_p[i.index()]) return false;
+  if (s.e_p[j.index()] >= latest_i) return false;
+  return true;
+}
+
+/// Phase of activity j relative to activity i: (O_j - O_i) mod T_j.
+[[nodiscard]] Time relative_phase(Time oj, Time oi, Time tj) {
+  return util::floor_mod(oj - oi, tj);
+}
+
+/// ---- Pass 1: propagate offsets / jitters along each graph ------------
+///
+/// Topological order guarantees every predecessor's current (monotone)
+/// values are available.  TT quantities are pinned by the schedule; ET
+/// quantities derive from their inputs.
+void propagate(Ctx& ctx, State& s) {
+  const Application& app = ctx.app;
+  for (const auto& order : ctx.topo) {
+    for (const ProcessId pid : order) {
+      const Process& p = app.process(pid);
+      const bool tt = ctx.platform.is_tt(p.node);
+
+      if (tt) {
+        // Pinned by the static schedule; deterministic start.
+        const Time start = ctx.cfg.process_offset(pid);
+        raise(ctx, s.o_p[pid.index()], start);
+        raise(ctx, s.e_p[pid.index()], start);
+        s.j_p[pid.index()] = 0;
+        s.w_p[pid.index()] = 0;
+        raise(ctx, s.r_p[pid.index()], p.wcet);
+      } else {
+        // Earliest release = all inputs present (earliest); jitter spans to
+        // the worst-case arrival of the latest input.
+        Time release = 0;      // earliest release (accounting offset O)
+        Time latest = 0;       // latest arrival over all inputs
+        for (const MessageId mid : p.in_messages) {
+          const MessageRoute route = ctx.route[mid.index()];
+          Time arc_release = 0;
+          switch (route) {
+            case MessageRoute::Local: {
+              const Process& sp = app.process(app.message(mid).src);
+              arc_release = s.o_p[app.message(mid).src.index()] + sp.wcet;
+              break;
+            }
+            case MessageRoute::TtToEt:
+              // Paper convention: available at the end of the TTP slot.
+              arc_release = s.o_m[mid.index()];
+              break;
+            case MessageRoute::EtToEt:
+              arc_release = s.e_m[mid.index()] + ctx.can_tx[mid.index()];
+              break;
+            default:
+              // EtToTt / TtToTt arcs never target an ET process.
+              arc_release = s.o_m[mid.index()];
+              break;
+          }
+          release = std::max(release, arc_release);
+          latest = std::max(latest, s.d_m[mid.index()]);
+        }
+        // Pure-precedence arcs (same node): release after predecessor.
+        for (const ProcessId pred : p.predecessors) {
+          bool via_message = false;
+          for (const MessageId mid : p.in_messages) {
+            if (app.message(mid).src == pred) {
+              via_message = true;
+              break;
+            }
+          }
+          if (via_message) continue;
+          release = std::max(release, s.o_p[pred.index()] + app.process(pred).wcet);
+          latest = std::max(latest, s.o_p[pred.index()] + s.r_p[pred.index()]);
+        }
+        raise(ctx, s.o_p[pid.index()], release);
+        raise(ctx, s.e_p[pid.index()], release);
+        raise(ctx, s.j_p[pid.index()],
+              std::max<Time>(0, latest - s.o_p[pid.index()]));
+        // s.w_p is the full busy window (>= wcet once the recurrence ran).
+        raise(ctx, s.r_p[pid.index()],
+              s.j_p[pid.index()] + std::max(s.w_p[pid.index()], p.wcet));
+      }
+
+      // Outgoing messages of this process.
+      for (const MessageId mid : p.out_messages) {
+        const std::size_t mi = mid.index();
+        switch (ctx.route[mi]) {
+          case MessageRoute::Local: {
+            raise(ctx, s.o_m[mi], s.o_p[pid.index()]);
+            raise(ctx, s.e_m[mi], s.o_p[pid.index()] + p.wcet);
+            s.j_m[mi] = 0;
+            s.w_m[mi] = 0;
+            raise(ctx, s.r_m[mi], s.r_p[pid.index()]);
+            raise(ctx, s.d_m[mi], s.o_m[mi] + s.r_m[mi]);
+            break;
+          }
+          case MessageRoute::TtToTt:
+          case MessageRoute::TtToEt: {
+            const auto& assignment = ctx.ttc.message_slot[mi];
+            if (!assignment) {
+              // Infeasible schedule: treat as diverged.
+              raise(ctx, s.d_m[mi], ctx.cap);
+              raise(ctx, s.r_m[mi], ctx.cap);
+              break;
+            }
+            if (ctx.route[mi] == MessageRoute::TtToTt) {
+              s.o_m[mi] = assignment->tx_start;
+              s.e_m[mi] = assignment->delivery;
+              s.j_m[mi] = 0;
+              s.w_m[mi] = 0;
+              raise(ctx, s.r_m[mi], assignment->delivery - assignment->tx_start);
+              raise(ctx, s.d_m[mi], assignment->delivery);
+            } else {
+              // CAN leg starts at the TTP delivery into the gateway MBI.
+              s.o_m[mi] = assignment->delivery;
+              s.e_m[mi] = assignment->delivery;
+              s.j_m[mi] = ctx.r_transfer;  // r_T of the transfer process
+              raise(ctx, s.r_m[mi], s.j_m[mi] + s.w_m[mi] + ctx.can_tx[mi]);
+              raise(ctx, s.d_m[mi], s.o_m[mi] + s.r_m[mi]);
+            }
+            break;
+          }
+          case MessageRoute::EtToEt:
+          case MessageRoute::EtToTt: {
+            raise(ctx, s.o_m[mi], s.o_p[pid.index()]);
+            raise(ctx, s.e_m[mi], s.o_p[pid.index()] + p.wcet);
+            raise(ctx, s.j_m[mi], s.r_p[pid.index()]);
+            if (ctx.route[mi] == MessageRoute::EtToEt) {
+              raise(ctx, s.r_m[mi], s.j_m[mi] + s.w_m[mi] + ctx.can_tx[mi]);
+              raise(ctx, s.d_m[mi], s.o_m[mi] + s.r_m[mi]);
+            }
+            // EtToTt: r/d are finalized by the OutTTP drain pass.
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// ---- Pass 2: fixed-priority preemptive interference on each ETC node --
+///
+/// s.w_p holds the FULL level-i busy window including the process's own
+/// WCET (preemptions landing while the process executes delay it too);
+/// the paper's "interference" I_i = w - C_i is recovered at export time.
+void etc_process_recurrences(Ctx& ctx, State& s) {
+  const Application& app = ctx.app;
+  for (const auto& procs : ctx.et_procs_by_node) {
+    for (const ProcessId pid : procs) {
+      const Time c_i = app.process(pid).wcet;
+      Time w = std::max(s.w_p[pid.index()], c_i);
+      for (int iter = 0; iter < ctx.opt.max_recurrence_iterations; ++iter) {
+        Time next = c_i;  // B_i = 0: no intra-node critical sections modeled
+        for (const ProcessId j : procs) {
+          if (j == pid) continue;
+          if (!ctx.cfg.higher_priority_process(j, pid)) continue;
+          if (!process_can_interfere(ctx, s, j, pid)) continue;
+          const Time phase =
+              relative_phase(s.o_p[j.index()], s.o_p[pid.index()], ctx.period_of(j));
+          const Time span_j =
+              s.j_p[j.index()] + std::max(s.w_p[j.index()], app.process(j).wcet);
+          next += interfering_activations(w, s.j_p[pid.index()], s.j_p[j.index()],
+                                          phase, ctx.period_of(j), span_j) *
+                  app.process(j).wcet;
+        }
+        if (next > ctx.cap) {
+          next = ctx.cap;
+          ++ctx.diverged;
+        }
+        if (next <= w) break;
+        w = next;
+      }
+      raise(ctx, s.w_p[pid.index()], w);
+      raise(ctx, s.r_p[pid.index()], s.j_p[pid.index()] + s.w_p[pid.index()]);
+    }
+  }
+}
+
+/// ---- Pass 3: CAN bus arbitration (OutNi and OutCAN queuing, §4.1.1) ---
+void can_message_recurrences(Ctx& ctx, State& s) {
+  for (const MessageId mid : ctx.can_messages) {
+    const std::size_t mi = mid.index();
+    Time w = s.w_m[mi];
+    for (int iter = 0; iter < ctx.opt.max_recurrence_iterations; ++iter) {
+      // Blocking: largest lower-priority frame that can be in flight.
+      Time blocking = 0;
+      for (const MessageId k : ctx.can_messages) {
+        if (k == mid) continue;
+        if (ctx.cfg.higher_priority_message(k, mid)) continue;  // k is hp
+        if (!message_can_block(ctx, s, k, mid)) continue;
+        blocking = std::max(blocking, ctx.can_tx[k.index()]);
+      }
+      Time next = blocking;
+      for (const MessageId j : ctx.can_messages) {
+        if (j == mid) continue;
+        if (!ctx.cfg.higher_priority_message(j, mid)) continue;
+        if (!message_can_interfere(ctx, s, j, mid)) continue;
+        const Time phase = relative_phase(s.o_m[j.index()], s.o_m[mi], ctx.period_of(j));
+        const Time span_j =
+            s.j_m[j.index()] + s.w_m[j.index()] + ctx.can_tx[j.index()];
+        next += interfering_activations(w, s.j_m[mi], s.j_m[j.index()], phase,
+                                        ctx.period_of(j), span_j) *
+                ctx.can_tx[j.index()];
+      }
+      if (next > ctx.cap) {
+        next = ctx.cap;
+        ++ctx.diverged;
+      }
+      if (next <= w) break;
+      w = next;
+    }
+    raise(ctx, s.w_m[mi], w);
+    raise(ctx, s.r_m[mi], s.j_m[mi] + s.w_m[mi] + ctx.can_tx[mi]);
+    if (ctx.route[mi] != MessageRoute::EtToTt) {
+      raise(ctx, s.d_m[mi], s.o_m[mi] + s.r_m[mi]);
+    }
+  }
+}
+
+/// ---- Pass 4: OutTTP FIFO drain through the gateway slot (§4.1.2) ------
+void out_ttp_drain(Ctx& ctx, State& s) {
+  if (ctx.et_to_tt.empty()) return;
+  if (!ctx.has_sg_slot) {
+    // No gateway slot: ET->TT traffic can never be delivered.
+    for (const MessageId mid : ctx.et_to_tt) {
+      if (s.d_m[mid.index()] < ctx.cap) ++ctx.diverged;
+      raise(ctx, s.d_m[mid.index()], ctx.cap);
+      raise(ctx, s.r_m[mid.index()], ctx.cap);
+    }
+    return;
+  }
+  const Application& app = ctx.app;
+  for (const MessageId mid : ctx.et_to_tt) {
+    const std::size_t mi = mid.index();
+    // Worst-case arrival into OutTTP: CAN leg complete.
+    Time arrival = s.o_m[mi] + s.j_m[mi] + s.w_m[mi] + ctx.can_tx[mi];
+    if (ctx.opt.charge_transfer_on_et_to_tt) arrival += ctx.r_transfer;
+    if (arrival > ctx.cap) arrival = ctx.cap;
+
+    // I_m: bytes ahead of m in the FIFO.  OutTTP is ordered by ARRIVAL,
+    // not by priority, so any other ET->TT message instance that can reach
+    // the gateway no later than m — regardless of CAN priority — may sit
+    // ahead of it (the paper's hp-only count under-approximates a FIFO;
+    // see DESIGN.md §3).  The arrival window of m spans its own arrival
+    // jitter J_m + w_m + C_m; an instance of j arriving earlier still
+    // counts while it can remain queued (ttp residency carry-in).
+    const Time m_arrival_spread = s.j_m[mi] + s.w_m[mi] + ctx.can_tx[mi];
+    std::int64_t bytes_ahead = 0;
+    for (const MessageId j : ctx.et_to_tt) {
+      if (j == mid) continue;
+      if (!message_can_interfere(ctx, s, j, mid)) continue;
+      const Time arrival_jitter_j =
+          s.j_m[j.index()] + s.w_m[j.index()] + ctx.can_tx[j.index()];
+      const Time span_j = arrival_jitter_j + s.ttp_wait[j.index()];
+      const Time phase =
+          relative_phase(s.o_m[j.index()], s.o_m[mi], ctx.period_of(j));
+      bytes_ahead += interfering_activations(m_arrival_spread, 0, arrival_jitter_j,
+                                             phase, ctx.period_of(j), span_j) *
+                     app.message(j).size_bytes;
+    }
+    const TtpDrainResult drain =
+        ttp_drain(ctx.cfg.tdma(), ctx.sg_slot, arrival,
+                  app.message(mid).size_bytes + bytes_ahead,
+                  ctx.opt.ttp_queue_model);
+    // Derived quantities (recomputed each pass; the final pass, which runs
+    // with the converged inputs, leaves the reported values).
+    s.i_m[mi] = bytes_ahead;
+    s.ttp_wait[mi] = std::min(drain.wait, ctx.cap);
+    raise(ctx, s.d_m[mi], std::min(drain.delivery, ctx.cap));
+    raise(ctx, s.r_m[mi], s.d_m[mi] - s.o_m[mi]);
+  }
+}
+
+/// ---- Buffer bounds (§4.1.1 - §4.1.2) -----------------------------------
+BufferBounds buffer_bounds(const Ctx& ctx, const State& s) {
+  const Application& app = ctx.app;
+  BufferBounds bounds;
+
+  // Worst-case content of a priority-ordered output queue holding `pool`:
+  // the message plus every higher-priority same-queue message instance
+  // that can arrive while m waits.
+  auto priority_queue_bound = [&](const std::vector<MessageId>& pool) {
+    std::int64_t worst = 0;
+    for (const MessageId m : pool) {
+      std::int64_t bytes = app.message(m).size_bytes;
+      for (const MessageId j : pool) {
+        if (j == m) continue;
+        if (!ctx.cfg.higher_priority_message(j, m)) continue;
+        if (!message_can_interfere(ctx, s, j, m)) continue;
+        const Time phase =
+            relative_phase(s.o_m[j.index()], s.o_m[m.index()], ctx.period_of(j));
+        const Time span_j =
+            s.j_m[j.index()] + s.w_m[j.index()] + ctx.can_tx[j.index()];
+        bytes += interfering_activations(s.w_m[m.index()], s.j_m[m.index()],
+                                         s.j_m[j.index()], phase,
+                                         ctx.period_of(j), span_j) *
+                 app.message(j).size_bytes;
+      }
+      worst = std::max(worst, bytes);
+    }
+    return worst;
+  };
+
+  bounds.out_can = priority_queue_bound(ctx.tt_to_et);
+
+  // OutNi: one priority queue per ETC node for all messages its processes
+  // send onto the CAN bus.
+  std::vector<std::vector<MessageId>> by_node(ctx.platform.num_nodes());
+  for (const MessageId m : ctx.can_messages) {
+    const MessageRoute route = ctx.route[m.index()];
+    if (route != MessageRoute::EtToEt && route != MessageRoute::EtToTt) continue;
+    by_node[app.process(app.message(m).src).node.index()].push_back(m);
+  }
+  for (std::size_t n = 0; n < by_node.size(); ++n) {
+    if (by_node[n].empty()) continue;
+    bounds.out_node[NodeId(static_cast<NodeId::underlying_type>(n))] =
+        priority_queue_bound(by_node[n]);
+  }
+
+  // OutTTP: FIFO of the ET->TT traffic.
+  std::int64_t worst_ttp = 0;
+  for (const MessageId m : ctx.et_to_tt) {
+    worst_ttp =
+        std::max(worst_ttp, app.message(m).size_bytes + s.i_m[m.index()]);
+  }
+  bounds.out_ttp = worst_ttp;
+  return bounds;
+}
+
+}  // namespace
+
+AnalysisResult response_time_analysis(const AnalysisInput& input,
+                                      const model::ReachabilityIndex& reach) {
+  if (input.app == nullptr || input.platform == nullptr || input.config == nullptr) {
+    throw std::invalid_argument("response_time_analysis: null input");
+  }
+  const Application& app = *input.app;
+  const arch::Platform& platform = *input.platform;
+
+  // Fallback empty TTC schedule for pure-ET systems.
+  sched::TtcSchedule empty_schedule;
+  const sched::TtcSchedule* ttc = input.ttc_schedule;
+  if (ttc == nullptr) {
+    empty_schedule.process_start.assign(app.num_processes(), 0);
+    empty_schedule.message_slot.assign(app.num_messages(), std::nullopt);
+    ttc = &empty_schedule;
+  }
+
+  Ctx ctx{app, platform, *input.config, *ttc, input.options, reach,
+          {},  {},       {},            {},   {},            {},
+          {},  {},       false,         0,    0,             0,
+          0,   false};
+
+  // Routes, transmission times, activity pools.
+  ctx.route.resize(app.num_messages());
+  ctx.can_tx.assign(app.num_messages(), 0);
+  ctx.can_borne.assign(app.num_messages(), false);
+  for (std::size_t mi = 0; mi < app.num_messages(); ++mi) {
+    const MessageId m(static_cast<MessageId::underlying_type>(mi));
+    ctx.route[mi] = classify_route(app, platform, m);
+    switch (ctx.route[mi]) {
+      case MessageRoute::EtToEt:
+      case MessageRoute::EtToTt:
+      case MessageRoute::TtToEt:
+        ctx.can_borne[mi] = true;
+        ctx.can_tx[mi] = platform.can().tx_time(app.message(m).size_bytes);
+        ctx.can_messages.push_back(m);
+        if (ctx.route[mi] == MessageRoute::EtToTt) ctx.et_to_tt.push_back(m);
+        if (ctx.route[mi] == MessageRoute::TtToEt) ctx.tt_to_et.push_back(m);
+        break;
+      default:
+        break;
+    }
+  }
+
+  ctx.et_procs_by_node.resize(platform.num_nodes());
+  for (std::size_t pi = 0; pi < app.num_processes(); ++pi) {
+    const ProcessId p(static_cast<ProcessId::underlying_type>(pi));
+    const Process& proc = app.process(p);
+    if (platform.is_et(proc.node)) ctx.et_procs_by_node[proc.node.index()].push_back(p);
+  }
+
+  for (std::size_t gi = 0; gi < app.num_graphs(); ++gi) {
+    ctx.topo.push_back(model::topological_order(
+        app, util::GraphId(static_cast<util::GraphId::underlying_type>(gi))));
+  }
+
+  if (platform.has_gateway() &&
+      ctx.cfg.tdma().owns_slot(platform.gateway())) {
+    ctx.has_sg_slot = true;
+    ctx.sg_slot = ctx.cfg.tdma().slot_of(platform.gateway());
+  }
+  ctx.r_transfer = platform.gateway_transfer().wcet;
+
+  Time max_period = 0;
+  for (const auto& g : app.graphs()) max_period = std::max(max_period, g.period);
+  ctx.cap = util::sat_add(4 * app.hyper_period(), max_period);
+
+  State s;
+  s.o_p.assign(app.num_processes(), 0);
+  s.e_p.assign(app.num_processes(), 0);
+  s.j_p.assign(app.num_processes(), 0);
+  s.w_p.assign(app.num_processes(), 0);
+  s.r_p.assign(app.num_processes(), 0);
+  s.o_m.assign(app.num_messages(), 0);
+  s.e_m.assign(app.num_messages(), 0);
+  s.j_m.assign(app.num_messages(), 0);
+  s.w_m.assign(app.num_messages(), 0);
+  s.r_m.assign(app.num_messages(), 0);
+  s.d_m.assign(app.num_messages(), 0);
+  s.ttp_wait.assign(app.num_messages(), 0);
+  s.i_m.assign(app.num_messages(), 0);
+
+  AnalysisResult result;
+  int iterations = 0;
+  for (; iterations < ctx.opt.max_outer_iterations; ++iterations) {
+    ctx.changed = false;
+    propagate(ctx, s);
+    etc_process_recurrences(ctx, s);
+    can_message_recurrences(ctx, s);
+    out_ttp_drain(ctx, s);
+    if (!ctx.changed) break;
+  }
+  result.converged =
+      (iterations < ctx.opt.max_outer_iterations) && (ctx.diverged == 0);
+  result.outer_iterations = iterations;
+  result.diverged_activities = ctx.diverged;
+
+  // Buffer bounds need the complete final state.
+  result.buffers = buffer_bounds(ctx, s);
+
+  // Graph responses: completion of the latest process (sinks dominate, but
+  // the max over all processes is robust to mid-fixed-point offsets).
+  result.graph_response.assign(app.num_graphs(), 0);
+  for (std::size_t pi = 0; pi < app.num_processes(); ++pi) {
+    const Process& p = app.processes()[pi];
+    const Time completion = util::sat_add(s.o_p[pi], s.r_p[pi]);
+    result.graph_response[p.graph.index()] =
+        std::max(result.graph_response[p.graph.index()], completion);
+  }
+
+  result.process_offsets = std::move(s.o_p);
+  result.message_offsets = std::move(s.o_m);
+  result.process_response = std::move(s.r_p);
+  result.process_jitter = std::move(s.j_p);
+  // s.w_p is the full busy window; report the paper's interference
+  // I_i = w_i - C_i (e.g. I2 = 20 in Figure 4a).
+  result.process_interference = std::move(s.w_p);
+  for (std::size_t pi = 0; pi < app.num_processes(); ++pi) {
+    result.process_interference[pi] = std::max<Time>(
+        0, result.process_interference[pi] - app.processes()[pi].wcet);
+  }
+  result.message_response = std::move(s.r_m);
+  result.message_jitter = std::move(s.j_m);
+  result.message_queue_delay = std::move(s.w_m);
+  result.message_ttp_wait = std::move(s.ttp_wait);
+  result.message_bytes_ahead = std::move(s.i_m);
+  result.message_delivery = std::move(s.d_m);
+
+  return result;
+}
+
+AnalysisResult response_time_analysis(const AnalysisInput& input) {
+  if (input.app == nullptr) {
+    throw std::invalid_argument("response_time_analysis: null application");
+  }
+  const model::ReachabilityIndex reach(*input.app);
+  return response_time_analysis(input, reach);
+}
+
+}  // namespace mcs::core

@@ -1,0 +1,52 @@
+// Offset/jitter-aware response time analysis for the ETC side of a
+// multi-cluster system (paper §4.1, extending Tindell [14,15] and
+// Palencia/González Harbour [10]).
+//
+// Given the application, the platform, and a system configuration whose
+// TTC part (process offsets and TTP message slot assignments) is fixed,
+// this module computes worst-case response times for every ETC process
+// and every CAN-borne message, worst-case queuing delays for the three
+// queue kinds (OutNi, OutCAN, OutTTP), worst-case deliveries of
+// inter-cluster messages, graph response times, and worst-case buffer
+// bounds.
+//
+// Activity bookkeeping (see DESIGN.md §3 for the derivation from the
+// paper's Figure 4 worked example):
+//   O  accounting offset   — TT process: schedule start; ET process:
+//      max of its inputs' earliest-presence points; TT->ET message: TTP
+//      delivery instant; ET-sourced message: the sender's offset.
+//   J  release jitter      — latest-release minus O; for a message the
+//      sender's response time (TT->ET leg: r_T of the gateway transfer
+//      process); for a receiving process max(delivery) - O.
+//   w  queuing/interference delay from the recurrences of §4.1.
+//   r  response time       — J + w + C, measured from O.
+//   E  earliest release    — used only by the offset-window pruning.
+#pragma once
+
+#include <vector>
+
+#include "mcs/core/analysis_types.hpp"
+#include "mcs/model/process_graph.hpp"
+#include "mcs/sched/list_scheduler.hpp"
+
+namespace mcs::core {
+
+/// Immutable inputs of one analysis run.
+struct AnalysisInput {
+  const model::Application* app = nullptr;
+  const arch::Platform* platform = nullptr;
+  const SystemConfig* config = nullptr;        ///< phi (TTC part), beta, pi
+  const sched::TtcSchedule* ttc_schedule = nullptr;  ///< slot assignments
+  AnalysisOptions options;
+};
+
+/// Runs the analysis to its fixed point (or the divergence cap) and
+/// returns every worst-case quantity.  Deterministic and side-effect free.
+[[nodiscard]] AnalysisResult response_time_analysis(const AnalysisInput& input);
+
+/// Convenience overload that also reuses a prebuilt reachability index
+/// (the optimizers call the analysis thousands of times on one model).
+[[nodiscard]] AnalysisResult response_time_analysis(
+    const AnalysisInput& input, const model::ReachabilityIndex& reachability);
+
+}  // namespace mcs::core

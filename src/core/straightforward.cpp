@@ -1,0 +1,16 @@
+#include "mcs/core/straightforward.hpp"
+
+#include "mcs/core/hopa.hpp"
+
+namespace mcs::core {
+
+StraightforwardResult straightforward(const MoveContext& ctx) {
+  StraightforwardResult result{Candidate::initial(ctx.app(), ctx.platform()), {}};
+  const HopaResult dm = initial_deadline_monotonic(ctx.app(), ctx.platform());
+  result.candidate.process_priorities = dm.process_priorities;
+  result.candidate.message_priorities = dm.message_priorities;
+  result.evaluation = ctx.evaluate(result.candidate);
+  return result;
+}
+
+}  // namespace mcs::core

@@ -1,0 +1,24 @@
+// The straightforward (SF) baseline of the paper's §6:
+//
+//   "a TTC bus configuration consisting of a straightforward ascending
+//    order of allocation of the nodes to the TDMA slots; the slot lengths
+//    were selected to accommodate the largest message sent by the
+//    respective node, and the scheduling has been performed by the
+//    MultiClusterScheduling algorithm"
+//
+// Priorities are the non-iterated deadline-monotonic assignment (a
+// designer's sensible first guess); no search is performed.
+#pragma once
+
+#include "mcs/core/moves.hpp"
+
+namespace mcs::core {
+
+struct StraightforwardResult {
+  Candidate candidate;
+  Evaluation evaluation;
+};
+
+[[nodiscard]] StraightforwardResult straightforward(const MoveContext& ctx);
+
+}  // namespace mcs::core

@@ -1,0 +1,55 @@
+#include "mcs/core/system_config.hpp"
+
+#include <algorithm>
+
+namespace mcs::core {
+
+SystemConfig::SystemConfig(const Application& app, arch::TdmaRound tdma)
+    : process_offsets_(app.num_processes(), 0),
+      message_offsets_(app.num_messages(), 0),
+      tdma_(std::move(tdma)),
+      process_priorities_(app.num_processes()),
+      message_priorities_(app.num_messages()) {
+  // Unique default priorities in id order (smaller id = higher priority).
+  for (std::size_t i = 0; i < process_priorities_.size(); ++i) {
+    process_priorities_[i] = static_cast<Priority>(i);
+  }
+  for (std::size_t i = 0; i < message_priorities_.size(); ++i) {
+    message_priorities_[i] = static_cast<Priority>(i);
+  }
+}
+
+std::int64_t largest_outgoing_message(const Application& app,
+                                      const arch::Platform& platform, NodeId node,
+                                      std::int64_t fallback) {
+  std::int64_t largest = 0;
+  const bool gateway = platform.has_gateway() && platform.gateway() == node;
+  for (const model::Message& m : app.messages()) {
+    const NodeId src = app.process(m.src).node;
+    const NodeId dst = app.process(m.dst).node;
+    if (src == dst) continue;  // local message, never on a bus
+    if (gateway) {
+      // The gateway's slot S_G carries ETC->TTC traffic.
+      if (platform.is_et(src) && platform.is_tt(dst)) {
+        largest = std::max(largest, m.size_bytes);
+      }
+    } else if (src == node && platform.is_tt(node)) {
+      largest = std::max(largest, m.size_bytes);
+    }
+  }
+  return largest > 0 ? largest : fallback;
+}
+
+arch::TdmaRound default_tdma_round(const Application& app,
+                                   const arch::Platform& platform,
+                                   std::int64_t min_bytes_per_slot) {
+  std::vector<arch::Slot> slots;
+  for (const NodeId n : platform.ttp_slot_owners()) {
+    const std::int64_t bytes = std::max(
+        min_bytes_per_slot, largest_outgoing_message(app, platform, n, min_bytes_per_slot));
+    slots.push_back(arch::Slot{n, platform.ttp().length_for_bytes(bytes)});
+  }
+  return arch::TdmaRound(std::move(slots), platform.ttp());
+}
+
+}  // namespace mcs::core

@@ -1,0 +1,125 @@
+#include "mcs/gen/cruise_control.hpp"
+
+namespace mcs::gen {
+
+CruiseController make_cruise_controller() {
+  // TTP: 1 byte/ms payload; CAN: 4 ms per frame (low-speed body bus).
+  arch::Platform platform(arch::TtpBusParams{1, 0},
+                          arch::CanBusParams::linear(4, 0));
+
+  CruiseController cc{std::move(platform), model::Application{}, {}, {}, {},
+                      {},                  {},                   {}, 250};
+  cc.ecm = cc.platform.add_tt_node("ECM");
+  cc.etm = cc.platform.add_tt_node("ETM");
+  cc.abs = cc.platform.add_et_node("ABS");
+  cc.tcm = cc.platform.add_et_node("TCM");
+  cc.gw = cc.platform.add_gateway("GW");
+  cc.platform.set_gateway_transfer({2, 10});
+
+  model::Application& app = cc.app;
+  cc.graph = app.add_graph("cruise-control", /*period=*/500, cc.deadline);
+  auto p = [&](const char* name, util::NodeId node, util::Time wcet) {
+    return app.add_process(cc.graph, name, node, wcet);
+  };
+  auto m = [&](util::ProcessId src, util::ProcessId dst, std::int64_t bytes,
+               const char* name) { return app.add_message(src, dst, bytes, name); };
+
+  // --- ECM (TTC): sensor acquisition and mode logic (9 processes) -------
+  const auto speed_sensor = p("speed_sensor", cc.ecm, 6);
+  const auto speed_filter1 = p("speed_filter1", cc.ecm, 6);
+  const auto speed_filter2 = p("speed_filter2", cc.ecm, 6);
+  const auto speed_agg = p("speed_agg", cc.ecm, 8);
+  const auto pedal_sensor = p("pedal_sensor", cc.ecm, 6);
+  const auto pedal_filter = p("pedal_filter", cc.ecm, 8);
+  const auto buttons = p("buttons", cc.ecm, 4);
+  const auto debounce = p("debounce", cc.ecm, 6);
+  const auto mode_logic = p("mode_logic", cc.ecm, 8);
+  app.add_dependency(speed_sensor, speed_filter1);
+  app.add_dependency(speed_filter1, speed_filter2);
+  app.add_dependency(speed_filter2, speed_agg);
+  app.add_dependency(pedal_sensor, pedal_filter);
+  app.add_dependency(buttons, debounce);
+  app.add_dependency(pedal_filter, mode_logic);
+  app.add_dependency(debounce, mode_logic);
+
+  // --- ABS (ETC): the "speedup" speed-estimation subgraph (12) ----------
+  const auto est1 = p("speedup_est1", cc.abs, 8);
+  const auto est2 = p("speedup_est2", cc.abs, 8);
+  const auto est3 = p("speedup_est3", cc.abs, 8);
+  const auto target = p("speedup_target", cc.abs, 8);
+  const auto wheel1 = p("wheel_acq", cc.abs, 8);
+  const auto wheel2 = p("wheel_cond", cc.abs, 8);
+  const auto wheel3 = p("wheel_fuse", cc.abs, 8);
+  const auto abs_d1 = p("abs_diag1", cc.abs, 6);
+  const auto abs_d2 = p("abs_diag2", cc.abs, 6);
+  const auto abs_d3 = p("abs_diag3", cc.abs, 6);
+  const auto abs_d4 = p("abs_diag4", cc.abs, 6);
+  const auto abs_d5 = p("abs_diag5", cc.abs, 6);
+  app.add_dependency(est1, est2);
+  app.add_dependency(est2, est3);
+  app.add_dependency(est3, target);
+  app.add_dependency(wheel1, wheel2);
+  app.add_dependency(wheel2, wheel3);
+  app.add_dependency(wheel3, est2);
+  app.add_dependency(abs_d1, abs_d2);
+  app.add_dependency(abs_d2, abs_d3);
+  app.add_dependency(abs_d3, abs_d4);
+  app.add_dependency(abs_d4, abs_d5);
+
+  // --- TCM (ETC): adaptation and control law (12) ------------------------
+  const auto adapt1 = p("adapt1", cc.tcm, 6);
+  const auto adapt2 = p("adapt2", cc.tcm, 8);
+  const auto ctrl1 = p("ctrl1", cc.tcm, 10);
+  const auto ctrl2 = p("ctrl2", cc.tcm, 10);
+  const auto cmd = p("cmd", cc.tcm, 8);
+  const auto gear1 = p("gear1", cc.tcm, 8);
+  const auto gear2 = p("gear2", cc.tcm, 8);
+  const auto tcm_d1 = p("tcm_diag1", cc.tcm, 6);
+  const auto tcm_d2 = p("tcm_diag2", cc.tcm, 6);
+  const auto tcm_d3 = p("tcm_diag3", cc.tcm, 6);
+  const auto tcm_d4 = p("tcm_diag4", cc.tcm, 6);
+  const auto tcm_d5 = p("tcm_diag5", cc.tcm, 6);
+  app.add_dependency(adapt1, adapt2);
+  app.add_dependency(adapt2, ctrl1);
+  app.add_dependency(ctrl1, ctrl2);
+  app.add_dependency(ctrl2, cmd);
+  app.add_dependency(gear1, gear2);
+  app.add_dependency(gear2, ctrl1);
+  app.add_dependency(tcm_d1, tcm_d2);
+  app.add_dependency(tcm_d2, tcm_d3);
+  app.add_dependency(tcm_d3, tcm_d4);
+  app.add_dependency(tcm_d4, tcm_d5);
+
+  // --- ETM (TTC): throttle shaping and actuation (7) ---------------------
+  const auto th1 = p("throttle_limit", cc.etm, 6);
+  const auto th2 = p("throttle_shape", cc.etm, 8);
+  const auto th3 = p("throttle_act", cc.etm, 6);
+  const auto saf1 = p("safety_mon", cc.etm, 8);
+  const auto saf2 = p("safety_act", cc.etm, 8);
+  const auto disp1 = p("display_fmt", cc.etm, 6);
+  const auto disp2 = p("display_out", cc.etm, 6);
+  app.add_dependency(th1, th2);
+  app.add_dependency(th2, th3);
+  app.add_dependency(th1, saf1);
+  app.add_dependency(saf1, saf2);
+  app.add_dependency(disp1, disp2);
+
+  // --- Inter-node traffic -------------------------------------------------
+  // TTC -> ETC (through the gateway):
+  (void)m(speed_agg, est1, 8, "m_speed");     // ECM -> ABS
+  (void)m(mode_logic, adapt1, 4, "m_mode");   // ECM -> TCM
+  (void)m(mode_logic, abs_d1, 2, "m_diag_req");  // ECM -> ABS diagnostics
+  // ETC internal (CAN only):
+  (void)m(target, ctrl1, 8, "m_target");      // ABS -> TCM
+  (void)m(abs_d5, tcm_d1, 4, "m_diag_fwd");   // ABS -> TCM diagnostics
+  // ETC -> TTC (through the gateway):
+  (void)m(cmd, th1, 8, "m_cmd");              // TCM -> ETM
+  (void)m(tcm_d5, disp1, 4, "m_diag_disp");   // TCM -> ETM display
+  (void)m(est3, disp1, 4, "m_speed_disp");    // ABS -> ETM display
+  // TTC -> TTC (TTP only):
+  (void)m(speed_agg, saf1, 4, "m_safety_speed");  // ECM -> ETM
+
+  return cc;
+}
+
+}  // namespace mcs::gen

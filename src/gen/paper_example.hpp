@@ -1,0 +1,45 @@
+// The paper's running example (Figures 1, 3 and 4): process graph G1 of
+// Figure 1 mapped onto a two-cluster system with one TT node (N1), one ET
+// node (N2) and a gateway (NG).
+//
+//   P1 (C=30, N1) --m1(8B)--> P2 (C=20, N2)
+//   P1            --m2(8B)--> P3 (C=20, N2)
+//   P2            --m3(8B)--> P4 (C=30, N1)
+//
+//   T_G1 = 240, D_G1 = 200, TDMA round = 40 with S_G = S_1 = 20,
+//   CAN frame time C_m = 10 for every message, gateway transfer C_T = 5.
+//
+// The four system configurations of Figure 4 (slot order x priority
+// assignment) are reproducible bit-exactly; see tests/core/figure4_test.cpp
+// and EXPERIMENTS.md for the measured values.
+#pragma once
+
+#include "mcs/arch/platform.hpp"
+#include "mcs/core/system_config.hpp"
+#include "mcs/model/application.hpp"
+
+namespace mcs::gen {
+
+struct PaperExample {
+  arch::Platform platform;
+  model::Application app;
+  util::NodeId n1, n2, ng;
+  util::ProcessId p1, p2, p3, p4;
+  util::MessageId m1, m2, m3;
+  util::GraphId g1;
+};
+
+[[nodiscard]] PaperExample make_paper_example();
+
+/// The system configurations discussed around Figure 4.
+enum class Figure4Variant {
+  A,          ///< slots [S_G, S_1]; priorities m1>m2>m3, P3>P2 — misses (R=210)
+  B,          ///< slots [S_1, S_G]; same priorities — meets (R=190)
+  C,          ///< slots [S_G, S_1]; P2>P3 — see DESIGN.md note (R=210)
+  CSlotFirst, ///< slots [S_1, S_G]; P2>P3 — meets (R=190)
+};
+
+[[nodiscard]] core::SystemConfig make_figure4_config(const PaperExample& ex,
+                                                     Figure4Variant variant);
+
+}  // namespace mcs::gen

@@ -1,0 +1,55 @@
+#include "mcs/gen/suites.hpp"
+
+namespace mcs::gen {
+
+std::vector<SuitePoint> figure9ab_suite(std::size_t seeds_per_dim,
+                                        std::uint64_t base_seed) {
+  std::vector<SuitePoint> suite;
+  for (const std::size_t nodes : {2u, 4u, 6u, 8u, 10u}) {
+    for (std::size_t replica = 0; replica < seeds_per_dim; ++replica) {
+      GeneratorParams p;
+      p.tt_nodes = nodes / 2;
+      p.et_nodes = nodes / 2;
+      p.processes_per_node = 40;
+      p.processes_per_graph = 40;
+      // Gateway traffic scaled like the paper's Figure 9c row (10..50
+      // inter-cluster messages over 160 processes): ~6 per node pair.
+      p.target_inter_cluster_messages = 6 * (nodes / 2);
+      p.wcet_distribution = (replica % 2 == 0) ? WcetDistribution::Uniform
+                                               : WcetDistribution::Exponential;
+      p.seed = base_seed + nodes * 101 + replica;
+      SuitePoint point;
+      point.params = p;
+      point.dimension = nodes * 40;  // processes
+      point.replica = replica;
+      suite.push_back(point);
+    }
+  }
+  return suite;
+}
+
+std::vector<SuitePoint> figure9c_suite(std::size_t seeds_per_point,
+                                       std::uint64_t base_seed) {
+  std::vector<SuitePoint> suite;
+  for (const std::size_t messages : {10u, 20u, 30u, 40u, 50u}) {
+    for (std::size_t replica = 0; replica < seeds_per_point; ++replica) {
+      GeneratorParams p;
+      p.tt_nodes = 2;
+      p.et_nodes = 2;
+      p.processes_per_node = 40;  // 160 processes total
+      p.processes_per_graph = 40;
+      p.target_inter_cluster_messages = messages;
+      p.wcet_distribution = (replica % 2 == 0) ? WcetDistribution::Uniform
+                                               : WcetDistribution::Exponential;
+      p.seed = base_seed + messages * 313 + replica;
+      SuitePoint point;
+      point.params = p;
+      point.dimension = messages;
+      point.replica = replica;
+      suite.push_back(point);
+    }
+  }
+  return suite;
+}
+
+}  // namespace mcs::gen

@@ -1,0 +1,34 @@
+// The paper's experimental suites (§6):
+//
+//  * Figure 9a/9b — two-cluster architectures of 2, 4, 6, 8, 10 nodes
+//    (half TTC / half ETC + gateway), 40 processes per node => 80..400
+//    processes, message sizes 8..32 bytes, WCETs uniform and exponential;
+//    30 random applications per dimension (seed count configurable here —
+//    the paper's 150-instance grid at SA depth takes hours by design).
+//
+//  * Figure 9c — 160-process applications (4 nodes) with 10, 20, 30, 40,
+//    50 inter-cluster messages.
+#pragma once
+
+#include <vector>
+
+#include "mcs/gen/generator.hpp"
+
+namespace mcs::gen {
+
+struct SuitePoint {
+  GeneratorParams params;
+  std::size_t dimension = 0;  ///< processes (9a/b) or gateway messages (9c)
+  std::size_t replica = 0;    ///< seed index within the dimension
+};
+
+/// 9a/9b grid: dimensions {2,4,6,8,10} nodes; alternating uniform and
+/// exponential WCETs across replicas (the paper used both).
+[[nodiscard]] std::vector<SuitePoint> figure9ab_suite(std::size_t seeds_per_dim,
+                                                      std::uint64_t base_seed = 1000);
+
+/// 9c grid: 160 processes, target inter-cluster messages in {10..50}.
+[[nodiscard]] std::vector<SuitePoint> figure9c_suite(std::size_t seeds_per_point,
+                                                     std::uint64_t base_seed = 9000);
+
+}  // namespace mcs::gen

@@ -1,0 +1,54 @@
+// Plain-text system description format.
+//
+// Lets users drive the synthesis tool without writing C++.  The format is
+// line-based; '#' starts a comment.  Keywords:
+//
+//   ttp <time_per_byte> <frame_overhead>
+//   can linear <base> <per_byte>
+//   can exact <bit_time> [standard|extended]
+//   gateway_transfer <wcet> <period>
+//   node <name> tt|et|gateway
+//   graph <name> <period> <deadline>
+//   process <name> <graph> <node> <wcet>
+//   message <name> <src_process> <dst_process> <size_bytes>
+//   dependency <src_process> <dst_process>
+//   deadline <process> <local_deadline>
+//
+// Declarations may appear in any order as long as referenced entities are
+// declared first.  See examples/cruise.mcs for a complete file.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "mcs/arch/platform.hpp"
+#include "mcs/model/application.hpp"
+
+namespace mcs::gen {
+
+struct ParsedSystem {
+  arch::Platform platform;
+  model::Application app;
+
+  [[nodiscard]] util::NodeId node(const std::string& name) const;
+  [[nodiscard]] util::ProcessId process(const std::string& name) const;
+  [[nodiscard]] util::MessageId message(const std::string& name) const;
+
+  std::map<std::string, util::NodeId> nodes_by_name;
+  std::map<std::string, util::ProcessId> processes_by_name;
+  std::map<std::string, util::MessageId> messages_by_name;
+  std::map<std::string, util::GraphId> graphs_by_name;
+};
+
+/// Parses a system description.  Throws std::invalid_argument with a
+/// line-numbered message on any syntax or reference error.
+[[nodiscard]] ParsedSystem parse_system(std::istream& in);
+[[nodiscard]] ParsedSystem parse_system_file(const std::string& path);
+
+/// Writes an application + platform back out in the same format
+/// (round-trips through parse_system).
+void write_system(std::ostream& out, const arch::Platform& platform,
+                  const model::Application& app);
+
+}  // namespace mcs::gen

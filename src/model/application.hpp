@@ -1,0 +1,110 @@
+// Application model (paper §2.1).
+//
+// An application Γ is a set of process graphs G_i.  Graph nodes are
+// processes with a worst-case execution time on the node they are mapped
+// to; arcs are precedence dependencies.  A dependency between processes
+// mapped to different nodes carries a message with a known size; its
+// period equals the sender's (= the graph's) period.  All processes and
+// messages of a graph share the graph's period T_G, and a deadline
+// D_G <= T_G is imposed on every graph (local per-process deadlines are
+// optional extras).
+//
+// Deliberately NOT part of the model: offsets, slot tables and priorities.
+// Those form the system configuration psi = <phi, beta, pi> being
+// synthesized (see mcs/core/system_config.hpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mcs/util/ids.hpp"
+#include "mcs/util/time.hpp"
+
+namespace mcs::model {
+
+using util::GraphId;
+using util::MessageId;
+using util::NodeId;
+using util::ProcessId;
+using util::Time;
+
+struct Process {
+  std::string name;
+  GraphId graph;
+  Time wcet = 0;                       ///< C_i on the mapped node
+  NodeId node = NodeId::invalid();     ///< mapping
+  std::optional<Time> local_deadline;  ///< optional D_i relative to graph start
+
+  std::vector<ProcessId> predecessors;
+  std::vector<ProcessId> successors;
+  std::vector<MessageId> in_messages;   ///< messages this process receives
+  std::vector<MessageId> out_messages;  ///< messages this process sends
+};
+
+struct Message {
+  std::string name;
+  GraphId graph;
+  ProcessId src = ProcessId::invalid();
+  ProcessId dst = ProcessId::invalid();
+  std::int64_t size_bytes = 0;
+};
+
+struct ProcessGraph {
+  std::string name;
+  Time period = 0;    ///< T_G
+  Time deadline = 0;  ///< D_G <= T_G
+  std::vector<ProcessId> processes;
+  std::vector<MessageId> messages;
+};
+
+/// Owning container for the whole application.  Ids are dense indices into
+/// the respective vectors; the builder API keeps adjacency in sync.
+class Application {
+public:
+  /// Creates a new process graph with the given period and deadline.
+  GraphId add_graph(std::string name, Time period, Time deadline);
+
+  /// Adds a process to `graph`, mapped to `node` with the given WCET.
+  ProcessId add_process(GraphId graph, std::string name, NodeId node, Time wcet);
+
+  /// Adds a data dependency src -> dst carried by a message of `size_bytes`.
+  /// Both processes must belong to the same graph.  If both are mapped to
+  /// the same node the message is "local" (pure precedence; communication
+  /// time is part of the WCET per the model).
+  MessageId add_message(ProcessId src, ProcessId dst, std::int64_t size_bytes,
+                        std::string name = {});
+
+  /// Adds a pure precedence arc (no data); same-graph requirement applies.
+  void add_dependency(ProcessId src, ProcessId dst);
+
+  void set_local_deadline(ProcessId p, Time deadline);
+
+  [[nodiscard]] std::span<const ProcessGraph> graphs() const noexcept { return graphs_; }
+  [[nodiscard]] std::span<const Process> processes() const noexcept { return processes_; }
+  [[nodiscard]] std::span<const Message> messages() const noexcept { return messages_; }
+
+  [[nodiscard]] const ProcessGraph& graph(GraphId g) const { return graphs_.at(g.index()); }
+  [[nodiscard]] const Process& process(ProcessId p) const { return processes_.at(p.index()); }
+  [[nodiscard]] const Message& message(MessageId m) const { return messages_.at(m.index()); }
+
+  [[nodiscard]] std::size_t num_graphs() const noexcept { return graphs_.size(); }
+  [[nodiscard]] std::size_t num_processes() const noexcept { return processes_.size(); }
+  [[nodiscard]] std::size_t num_messages() const noexcept { return messages_.size(); }
+
+  /// Period of the graph owning process/message (T_i in the analysis).
+  [[nodiscard]] Time period_of(ProcessId p) const { return graph(process(p).graph).period; }
+  [[nodiscard]] Time period_of(MessageId m) const { return graph(message(m).graph).period; }
+
+  /// Hyper-period (LCM of all graph periods).
+  [[nodiscard]] Time hyper_period() const;
+
+private:
+  std::vector<ProcessGraph> graphs_;
+  std::vector<Process> processes_;
+  std::vector<Message> messages_;
+};
+
+}  // namespace mcs::model

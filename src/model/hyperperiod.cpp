@@ -1,0 +1,66 @@
+#include "mcs/model/hyperperiod.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "mcs/util/math.hpp"
+
+namespace mcs::model {
+
+Hypergraph merge_into_hypergraph(const Application& src,
+                                 std::span<const GraphId> graph_ids) {
+  if (graph_ids.empty()) {
+    throw std::invalid_argument("merge_into_hypergraph: empty graph selection");
+  }
+  std::vector<Time> periods;
+  periods.reserve(graph_ids.size());
+  Time max_deadline_tail = 0;  // D of the last instance relative to its release
+  for (const GraphId g : graph_ids) {
+    periods.push_back(src.graph(g).period);
+    max_deadline_tail = std::max(max_deadline_tail, src.graph(g).deadline);
+  }
+  const Time lcm = util::hyper_period(periods);
+
+  Hypergraph out;
+  // The merged graph's deadline is the latest instance deadline; it cannot
+  // exceed the hyper-period because D <= T for every source graph.
+  const GraphId merged = out.app.add_graph("hyper", lcm, lcm);
+  out.graph = merged;
+
+  for (const GraphId g : graph_ids) {
+    const ProcessGraph& graph = src.graph(g);
+    const Time t = graph.period;
+    const Time copies = lcm / t;
+    for (Time k = 0; k < copies; ++k) {
+      HyperInstance inst;
+      inst.source_graph = g;
+      inst.instance = static_cast<std::size_t>(k);
+      inst.release_offset = k * t;
+
+      std::unordered_map<ProcessId, ProcessId> remap;
+      for (const ProcessId p : graph.processes) {
+        const Process& sp = src.process(p);
+        const std::string name =
+            sp.name + "#" + std::to_string(k);
+        const ProcessId np = out.app.add_process(merged, name, sp.node, sp.wcet);
+        // Local deadline of the instance: release + graph deadline (or the
+        // tighter local deadline when the source process has one).
+        const Time local = sp.local_deadline.value_or(graph.deadline);
+        out.app.set_local_deadline(np, inst.release_offset + local);
+        remap.emplace(p, np);
+        inst.process_map.push_back(np);
+        out.release_offsets.resize(np.index() + 1, 0);
+        out.release_offsets[np.index()] = inst.release_offset;
+      }
+      for (const MessageId m : graph.messages) {
+        const Message& sm = src.message(m);
+        out.app.add_message(remap.at(sm.src), remap.at(sm.dst), sm.size_bytes,
+                            sm.name + "#" + std::to_string(k));
+      }
+      out.instances.push_back(std::move(inst));
+    }
+  }
+  return out;
+}
+
+}  // namespace mcs::model

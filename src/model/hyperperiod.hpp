@@ -1,0 +1,42 @@
+// Hyper-graph construction (paper §2.1):
+//
+//   "If communicating processes are of different periods, they are
+//    combined into a hyper-graph capturing all process activations for
+//    the hyper-period (LCM of all periods)."
+//
+// `merge_into_hypergraph` folds a set of graphs into a single graph whose
+// period is the LCM of the source periods.  Each source graph G with
+// period T is replicated LCM/T times; instance k keeps G's internal
+// structure, and its processes receive a release offset constraint of
+// k*T (realized as a local deadline k*T + D and an instance tag in the
+// name).  The transformation lets the rest of the tool chain assume
+// "one period per analysis unit" without losing activations.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mcs/model/application.hpp"
+
+namespace mcs::model {
+
+struct HyperInstance {
+  GraphId source_graph;                 ///< graph in the source application
+  std::size_t instance = 0;             ///< replication index k
+  Time release_offset = 0;              ///< k * T_source
+  std::vector<ProcessId> process_map;   ///< source process -> new process (dense, per graph order)
+};
+
+struct Hypergraph {
+  Application app;          ///< single-graph application with period = LCM
+  GraphId graph;            ///< the merged graph
+  std::vector<HyperInstance> instances;
+  std::vector<Time> release_offsets;    ///< per new-process earliest release
+};
+
+/// Merges `graph_ids` of `src` into one hyper-period graph.  Only the
+/// selected graphs are copied.  Throws on empty selection.
+[[nodiscard]] Hypergraph merge_into_hypergraph(const Application& src,
+                                               std::span<const GraphId> graph_ids);
+
+}  // namespace mcs::model

@@ -1,0 +1,155 @@
+#include "mcs/model/process_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace mcs::model {
+
+namespace {
+
+/// Local in-degree map restricted to one graph.  Duplicate arcs (a message
+/// plus an explicit dependency between the same pair) are counted as-is;
+/// Kahn's algorithm handles multiplicities naturally.
+std::unordered_map<ProcessId, std::size_t> in_degrees(const Application& app, GraphId g) {
+  std::unordered_map<ProcessId, std::size_t> deg;
+  for (const ProcessId p : app.graph(g).processes) {
+    deg[p] = app.process(p).predecessors.size();
+  }
+  return deg;
+}
+
+}  // namespace
+
+std::vector<ProcessId> topological_order(const Application& app, GraphId g) {
+  auto deg = in_degrees(app, g);
+  std::deque<ProcessId> ready;
+  for (const auto& [p, d] : deg) {
+    if (d == 0) ready.push_back(p);
+  }
+  // Deterministic order regardless of hash iteration.
+  std::sort(ready.begin(), ready.end());
+
+  std::vector<ProcessId> order;
+  order.reserve(deg.size());
+  while (!ready.empty()) {
+    const ProcessId p = ready.front();
+    ready.pop_front();
+    order.push_back(p);
+    for (const ProcessId s : app.process(p).successors) {
+      auto it = deg.find(s);
+      if (it == deg.end()) continue;  // defensive: successor outside graph
+      if (--it->second == 0) ready.push_back(s);
+    }
+  }
+  if (order.size() != app.graph(g).processes.size()) {
+    throw std::invalid_argument("topological_order: graph has a cycle");
+  }
+  return order;
+}
+
+std::vector<ProcessId> sources(const Application& app, GraphId g) {
+  std::vector<ProcessId> out;
+  for (const ProcessId p : app.graph(g).processes) {
+    if (app.process(p).predecessors.empty()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<ProcessId> sinks(const Application& app, GraphId g) {
+  std::vector<ProcessId> out;
+  for (const ProcessId p : app.graph(g).processes) {
+    if (app.process(p).successors.empty()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Time> longest_path_to(const Application& app, GraphId g) {
+  const auto order = topological_order(app, g);
+  std::unordered_map<ProcessId, Time> dist;
+  for (const ProcessId p : order) {
+    Time best = 0;
+    for (const ProcessId pred : app.process(p).predecessors) {
+      best = std::max(best, dist.at(pred));
+    }
+    dist[p] = best + app.process(p).wcet;
+  }
+  std::vector<Time> out;
+  out.reserve(order.size());
+  for (const ProcessId p : app.graph(g).processes) out.push_back(dist.at(p));
+  return out;
+}
+
+std::vector<Time> longest_path_from(const Application& app, GraphId g) {
+  auto order = topological_order(app, g);
+  std::unordered_map<ProcessId, Time> dist;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Time best = 0;
+    for (const ProcessId s : app.process(*it).successors) {
+      best = std::max(best, dist.at(s));
+    }
+    dist[*it] = best + app.process(*it).wcet;
+  }
+  std::vector<Time> out;
+  out.reserve(order.size());
+  for (const ProcessId p : app.graph(g).processes) out.push_back(dist.at(p));
+  return out;
+}
+
+ReachabilityIndex::ReachabilityIndex(const Application& app) {
+  const std::size_t n = app.num_processes();
+  words_ = (n + 63) / 64;
+  closure_.assign(n * words_, 0);
+  for (std::size_t gi = 0; gi < app.num_graphs(); ++gi) {
+    const GraphId g(static_cast<GraphId::underlying_type>(gi));
+    const auto order = topological_order(app, g);
+    // Reverse topological: successors' rows are complete when merged.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const std::size_t row = it->index();
+      set_bit(row, row);
+      for (const ProcessId s : app.process(*it).successors) {
+        or_row(row, s.index());
+      }
+    }
+  }
+}
+
+bool ReachabilityIndex::reaches(ProcessId from, ProcessId to) const {
+  return bit(from.index(), to.index());
+}
+
+bool ReachabilityIndex::bit(std::size_t row, std::size_t col) const {
+  return (closure_[row * words_ + col / 64] >> (col % 64)) & 1U;
+}
+
+void ReachabilityIndex::set_bit(std::size_t row, std::size_t col) {
+  closure_[row * words_ + col / 64] |= (std::uint64_t{1} << (col % 64));
+}
+
+void ReachabilityIndex::or_row(std::size_t dst, std::size_t src) {
+  for (std::size_t w = 0; w < words_; ++w) {
+    closure_[dst * words_ + w] |= closure_[src * words_ + w];
+  }
+}
+
+bool reaches(const Application& app, ProcessId from, ProcessId to) {
+  if (from == to) return true;
+  std::vector<ProcessId> stack{from};
+  std::vector<bool> seen(app.num_processes(), false);
+  seen[from.index()] = true;
+  while (!stack.empty()) {
+    const ProcessId p = stack.back();
+    stack.pop_back();
+    for (const ProcessId s : app.process(p).successors) {
+      if (s == to) return true;
+      if (!seen[s.index()]) {
+        seen[s.index()] = true;
+        stack.push_back(s);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace mcs::model

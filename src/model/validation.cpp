@@ -1,0 +1,123 @@
+#include "mcs/model/validation.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "mcs/model/process_graph.hpp"
+
+namespace mcs::model {
+
+bool ValidationReport::ok() const noexcept {
+  return error_count() == 0;
+}
+
+std::size_t ValidationReport::error_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& i : issues) {
+    if (i.severity == ValidationIssue::Severity::Error) ++n;
+  }
+  return n;
+}
+
+std::string ValidationReport::to_string() const {
+  std::ostringstream os;
+  for (const auto& i : issues) {
+    os << (i.severity == ValidationIssue::Severity::Error ? "error: " : "warning: ")
+       << i.message << '\n';
+  }
+  return os.str();
+}
+
+ValidationReport validate(const Application& app, const arch::Platform& platform) {
+  ValidationReport report;
+  auto error = [&](std::string msg) {
+    report.issues.push_back({ValidationIssue::Severity::Error, std::move(msg)});
+  };
+  auto warning = [&](std::string msg) {
+    report.issues.push_back({ValidationIssue::Severity::Warning, std::move(msg)});
+  };
+
+  // Mapping and WCET sanity.
+  for (std::size_t i = 0; i < app.num_processes(); ++i) {
+    const Process& p = app.processes()[i];
+    if (!p.node.valid() || p.node.index() >= platform.num_nodes()) {
+      error("process '" + p.name + "' is not mapped to a platform node");
+    }
+    if (p.wcet <= 0) error("process '" + p.name + "' has non-positive WCET");
+    if (p.local_deadline && *p.local_deadline > app.graph(p.graph).deadline) {
+      warning("process '" + p.name + "' local deadline exceeds its graph deadline");
+    }
+  }
+
+  // Graph-level checks.
+  for (std::size_t gi = 0; gi < app.num_graphs(); ++gi) {
+    const GraphId g(static_cast<GraphId::underlying_type>(gi));
+    const ProcessGraph& graph = app.graph(g);
+    if (graph.deadline > graph.period) {
+      error("graph '" + graph.name + "' deadline exceeds its period");
+    }
+    if (graph.processes.empty()) {
+      warning("graph '" + graph.name + "' has no processes");
+      continue;
+    }
+    try {
+      const auto lp = longest_path_to(app, g);
+      Time critical_path = 0;
+      for (const Time t : lp) critical_path = std::max(critical_path, t);
+      if (critical_path > graph.deadline) {
+        warning("graph '" + graph.name + "' critical path (" +
+                std::to_string(critical_path) + ") already exceeds deadline (" +
+                std::to_string(graph.deadline) + ")");
+      }
+    } catch (const std::invalid_argument&) {
+      error("graph '" + graph.name + "' contains a dependency cycle");
+    }
+  }
+
+  // Message checks: inter-cluster traffic requires a gateway.
+  bool any_inter_cluster = false;
+  for (const Message& m : app.messages()) {
+    const Process& s = app.process(m.src);
+    const Process& d = app.process(m.dst);
+    if (!s.node.valid() || !d.node.valid()) continue;  // mapping error reported above
+    if (s.node == d.node) continue;                    // local message: no constraint
+    if (m.size_bytes <= 0) {
+      error("remote message '" + m.name + "' has non-positive size");
+    }
+    const bool src_tt = platform.is_tt(s.node);
+    const bool dst_tt = platform.is_tt(d.node);
+    if (src_tt != dst_tt) any_inter_cluster = true;
+  }
+  if (any_inter_cluster && !platform.has_gateway()) {
+    error("application has inter-cluster messages but the platform has no gateway");
+  }
+
+  // Utilization per node (necessary condition for recurrence convergence).
+  std::map<NodeId, double> utilization;
+  for (const Process& p : app.processes()) {
+    if (!p.node.valid() || p.node.index() >= platform.num_nodes()) continue;
+    utilization[p.node] +=
+        static_cast<double>(p.wcet) / static_cast<double>(app.graph(p.graph).period);
+  }
+  for (const auto& [node, u] : utilization) {
+    if (u > 1.0) {
+      error("node '" + platform.node(node).name + "' is over-utilized (U=" +
+            std::to_string(u) + " > 1)");
+    } else if (u > 0.9) {
+      warning("node '" + platform.node(node).name + "' utilization is high (U=" +
+              std::to_string(u) + ")");
+    }
+  }
+
+  return report;
+}
+
+void ensure_valid(const Application& app, const arch::Platform& platform) {
+  const ValidationReport report = validate(app, platform);
+  if (!report.ok()) {
+    throw std::invalid_argument("application validation failed:\n" + report.to_string());
+  }
+}
+
+}  // namespace mcs::model

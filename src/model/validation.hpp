@@ -1,0 +1,46 @@
+// Structural validation of an application against a platform.
+//
+// The analyses assume a well-formed input; `validate` collects every
+// violation (rather than stopping at the first) so a model author gets a
+// complete report.  `ensure_valid` throws with the full report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mcs/arch/platform.hpp"
+#include "mcs/model/application.hpp"
+
+namespace mcs::model {
+
+struct ValidationIssue {
+  enum class Severity { Error, Warning };
+  Severity severity = Severity::Error;
+  std::string message;
+};
+
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+
+  [[nodiscard]] bool ok() const noexcept;  ///< no errors (warnings allowed)
+  [[nodiscard]] std::size_t error_count() const noexcept;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Checks:
+///  * every process is mapped to a node that exists on the platform;
+///  * every graph is acyclic and its deadline satisfies D <= T;
+///  * message endpoints live in the same graph (builder enforces) and
+///    remote messages have positive size;
+///  * the sum of WCETs along the longest path of a graph does not already
+///    exceed the graph deadline (else trivially unschedulable — warning);
+///  * inter-cluster messages exist only if the platform has a gateway;
+///  * per-node utilization (Sum C_i/T_i) <= 1 is required for the response
+///    time recurrences to converge (error when violated).
+[[nodiscard]] ValidationReport validate(const Application& app,
+                                        const arch::Platform& platform);
+
+/// Throws std::invalid_argument with the full report if validation fails.
+void ensure_valid(const Application& app, const arch::Platform& platform);
+
+}  // namespace mcs::model

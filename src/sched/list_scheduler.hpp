@@ -1,0 +1,81 @@
+// Static cyclic scheduling of the time-triggered cluster (paper §4,
+// StaticScheduling step; list-scheduling approach of reference [5]).
+//
+// Produces the TTC schedule tables (process start times) and the MEDL
+// content (which TDMA slot occurrence carries each TTP message).  TT
+// processes execute non-preemptively and sequentially on their node; a
+// node's outgoing messages are packed into the earliest occurrence of its
+// TDMA slot that starts after the sender finished and still has capacity.
+//
+// The scheduler takes lower-bound constraints per process and per message:
+//  * the MultiClusterScheduling fixed point feeds worst-case ETC->TTC
+//    message deliveries as process release lower bounds ("a process is not
+//    activated before the worst-case arrival time of the message");
+//  * the OptimizeResources move set pins processes/messages later inside
+//    their [ASAP, ALAP] windows through the same mechanism.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mcs/arch/platform.hpp"
+#include "mcs/arch/ttp.hpp"
+#include "mcs/model/application.hpp"
+
+namespace mcs::sched {
+
+using model::Application;
+using util::MessageId;
+using util::NodeId;
+using util::ProcessId;
+using util::Time;
+
+/// Additional release lower bounds merged (by max) into the schedule.
+struct ScheduleConstraints {
+  std::vector<Time> process_release;  ///< per ProcessId; empty = all zero
+  std::vector<Time> message_tx;       ///< per MessageId; empty = all zero
+
+  [[nodiscard]] static ScheduleConstraints none(const Application& app);
+  [[nodiscard]] Time process_lb(ProcessId p) const;
+  [[nodiscard]] Time message_lb(MessageId m) const;
+};
+
+/// Placement of one TTP-borne message in the TDMA calendar.
+struct MessageSlotAssignment {
+  std::size_t slot_index = 0;   ///< slot in the round (the sender's slot)
+  std::int64_t first_round = 0; ///< occurrence index of the first carrying round
+  std::int64_t rounds = 1;      ///< occurrences used (ceil(size / capacity))
+  Time tx_start = 0;            ///< start of the first carrying occurrence
+  Time delivery = 0;            ///< end of the last carrying occurrence
+};
+
+struct TtcSchedule {
+  /// Start time per process (meaningful for TT processes only; the offsets
+  /// phi of the schedule tables).
+  std::vector<Time> process_start;
+  /// Assignment per message (set for TT-sourced remote messages only).
+  std::vector<std::optional<MessageSlotAssignment>> message_slot;
+  Time makespan = 0;
+  bool feasible = true;
+  std::vector<std::string> problems;
+};
+
+/// List scheduling with critical-path priorities.  Deterministic: ties are
+/// broken by ProcessId.  Throws std::invalid_argument for cyclic graphs.
+[[nodiscard]] TtcSchedule list_schedule(const Application& app,
+                                        const arch::Platform& platform,
+                                        const arch::TdmaRound& tdma,
+                                        const ScheduleConstraints& constraints);
+
+/// Recommended slot lengths for the slot owned by `node` (paper §5.1 /
+/// reference [5]): the distinct "useful" lengths to try during the bus
+/// access optimization — one per subset-sum of outgoing message sizes up
+/// to the total, deduplicated and clamped to at most `max_candidates`.
+[[nodiscard]] std::vector<Time> recommended_slot_lengths(const Application& app,
+                                                         const arch::Platform& platform,
+                                                         NodeId node,
+                                                         std::size_t max_candidates = 8);
+
+}  // namespace mcs::sched

@@ -1,0 +1,28 @@
+#include "mcs/sim/event.hpp"
+
+#include <stdexcept>
+
+namespace mcs::sim {
+
+void EventQueue::schedule(Time t, Action action) {
+  if (t < now_) throw std::invalid_argument("EventQueue::schedule: time in the past");
+  heap_.push(Entry{t, next_seq_++, std::move(action)});
+}
+
+bool EventQueue::run_next() {
+  if (heap_.empty()) return false;
+  // Copy out before popping: the action may schedule new events.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  now_ = entry.time;
+  entry.action();
+  return true;
+}
+
+std::int64_t EventQueue::run(std::int64_t max_events) {
+  std::int64_t executed = 0;
+  while (executed < max_events && run_next()) ++executed;
+  return executed;
+}
+
+}  // namespace mcs::sim

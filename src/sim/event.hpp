@@ -1,0 +1,57 @@
+// Deterministic discrete-event engine.
+//
+// A minimal calendar queue: events fire in (time, insertion sequence)
+// order, so runs are bit-reproducible regardless of container internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "mcs/util/time.hpp"
+
+namespace mcs::sim {
+
+using util::Time;
+
+class EventQueue {
+public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `t` (>= now).
+  void schedule(Time t, Action action);
+
+  /// Executes the next event; returns false when the queue is empty.
+  bool run_next();
+
+  /// Runs until empty or `max_events` executed; returns events executed.
+  std::int64_t run(std::int64_t max_events);
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Fire time of the next event, or kTimeInfinity when empty.
+  [[nodiscard]] Time next_time() const noexcept {
+    return heap_.empty() ? util::kTimeInfinity : heap_.top().time;
+  }
+
+private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  Time now_ = 0;
+};
+
+}  // namespace mcs::sim

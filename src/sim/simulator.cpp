@@ -1,0 +1,448 @@
+#include "mcs/sim/simulator.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "mcs/core/analysis_types.hpp"
+#include "mcs/sim/event.hpp"
+
+namespace mcs::sim {
+
+namespace {
+
+using core::MessageRoute;
+using core::SystemConfig;
+using model::Application;
+using util::MessageId;
+using util::NodeId;
+using util::ProcessId;
+using util::Time;
+
+struct Sim {
+  const Application& app;
+  const arch::Platform& platform;
+  const SystemConfig& cfg;
+  const sched::TtcSchedule& ttc;
+  const SimOptions& opt;
+
+  EventQueue q;
+  SimResult out;
+
+  // Static per-activity data.
+  std::vector<MessageRoute> route;
+  std::vector<Time> can_tx;
+
+  // Process state.
+  std::vector<std::size_t> inputs_remaining;
+  std::vector<bool> started;
+  std::vector<bool> finished;
+  std::vector<Time> finish_time;
+  std::vector<bool> tt_release_reached;  ///< schedule-table time passed
+
+  // TT nodes execute sequentially.
+  std::vector<Time> tt_busy_until;  ///< by node index
+
+  // ETC fixed-priority preemptive state, one per node index.
+  struct Running {
+    ProcessId process;
+    Time remaining = 0;
+    Time resumed_at = 0;
+    std::uint64_t version = 0;
+  };
+  std::vector<std::optional<Running>> running;
+  std::vector<std::set<std::pair<core::Priority, ProcessId>>> ready;
+  std::vector<Time> et_remaining;  ///< per process, while preempted/ready
+  std::uint64_t dispatch_version = 0;
+
+  // CAN bus.
+  bool can_busy = false;
+  bool can_arbitration_scheduled = false;
+  std::set<std::pair<core::Priority, MessageId>> can_pending;
+
+  // Gateway queues.
+  std::int64_t out_can_bytes = 0;
+  std::int64_t out_ttp_bytes = 0;
+  std::vector<std::int64_t> out_node_bytes;  ///< by node index
+  std::deque<MessageId> out_ttp_fifo;
+  std::int64_t front_bytes_left = 0;  ///< remaining bytes of the FIFO head
+  bool sg_pack_scheduled = false;
+  bool has_sg_slot = false;
+  std::size_t sg_slot = 0;
+
+  explicit Sim(const Application& a, const arch::Platform& p,
+               const SystemConfig& c, const sched::TtcSchedule& t,
+               const SimOptions& o)
+      : app(a), platform(p), cfg(c), ttc(t), opt(o) {}
+
+  void violation(std::string msg) {
+    out.violations.push_back(msg);
+    out.trace.add(q.now(), TraceKind::Violation, std::move(msg));
+  }
+
+  [[nodiscard]] const std::string& pname(ProcessId p) const {
+    return app.process(p).name;
+  }
+  [[nodiscard]] const std::string& mname(MessageId m) const {
+    return app.message(m).name;
+  }
+
+  // ---- ETC preemptive scheduling --------------------------------------
+
+  void dispatch(std::size_t node) {
+    auto& run = running[node];
+    auto& rq = ready[node];
+    if (run) {
+      if (rq.empty()) return;
+      const auto& [top_prio, top_p] = *rq.begin();
+      if (top_prio >= cfg.process_priority(run->process)) return;
+      // Preempt the running process.
+      const Time executed = q.now() - run->resumed_at;
+      et_remaining[run->process.index()] = run->remaining - executed;
+      rq.emplace(cfg.process_priority(run->process), run->process);
+      out.trace.add(q.now(), TraceKind::ProcessPreempt, pname(run->process));
+      run.reset();
+    }
+    if (rq.empty()) return;
+    const auto [prio, p] = *rq.begin();
+    rq.erase(rq.begin());
+    const Time remaining = et_remaining[p.index()];
+    const std::uint64_t version = ++dispatch_version;
+    run = Running{p, remaining, q.now(), version};
+    if (!started[p.index()]) {
+      started[p.index()] = true;
+      out.process_start[p.index()] = q.now();
+      out.trace.add(q.now(), TraceKind::ProcessStart, pname(p));
+    } else {
+      out.trace.add(q.now(), TraceKind::ProcessResume, pname(p));
+    }
+    const std::size_t node_copy = node;
+    q.schedule(q.now() + remaining, [this, p, version, node_copy] {
+      et_finish(p, version, node_copy);
+    });
+  }
+
+  void et_finish(ProcessId p, std::uint64_t version, std::size_t node) {
+    auto& run = running[node];
+    if (!run || run->process != p || run->version != version) return;  // stale
+    run.reset();
+    complete_process(p);
+    dispatch(node);
+  }
+
+  void release_et(ProcessId p) {
+    const std::size_t node = app.process(p).node.index();
+    et_remaining[p.index()] = app.process(p).wcet;
+    ready[node].emplace(cfg.process_priority(p), p);
+    dispatch(node);
+  }
+
+  // ---- TT dispatch ------------------------------------------------------
+
+  void try_start_tt(ProcessId p) {
+    if (started[p.index()]) return;
+    if (!tt_release_reached[p.index()]) return;
+    const model::Process& proc = app.process(p);
+    const std::size_t node = proc.node.index();
+    if (inputs_remaining[p.index()] > 0) return;  // wait for inputs
+    Time start = q.now();
+    if (tt_busy_until[node] > start) {
+      // The schedule table should prevent this; run anyway, flag it.
+      violation("TT node busy at scheduled start of " + pname(p));
+      start = tt_busy_until[node];
+    }
+    started[p.index()] = true;
+    out.process_start[p.index()] = start;
+    out.trace.add(start, TraceKind::ProcessStart, pname(p));
+    tt_busy_until[node] = start + proc.wcet;
+    q.schedule(start + proc.wcet, [this, p] { complete_process(p); });
+  }
+
+  void tt_release(ProcessId p) {
+    tt_release_reached[p.index()] = true;
+    if (inputs_remaining[p.index()] > 0) {
+      // An input delivery at this very instant may still be queued behind
+      // this event (the analysis treats "delivered at t" and "starts at t"
+      // as compatible); re-check after all same-time events have fired.
+      q.schedule(q.now(), [this, p] {
+        if (!started[p.index()] && inputs_remaining[p.index()] > 0) {
+          violation("input not present at schedule-table start of " + pname(p));
+        }
+      });
+      return;  // started when the last input arrives
+    }
+    try_start_tt(p);
+  }
+
+  // ---- Completion and message injection ----------------------------------
+
+  void complete_process(ProcessId p) {
+    finished[p.index()] = true;
+    finish_time[p.index()] = q.now();
+    out.process_completion[p.index()] = q.now();
+    out.trace.add(q.now(), TraceKind::ProcessFinish, pname(p));
+
+    const model::Process& proc = app.process(p);
+    // Pure-precedence arcs (and local messages) release successors now.
+    std::set<ProcessId> message_targets;
+    for (const MessageId m : proc.out_messages) {
+      message_targets.insert(app.message(m).dst);
+      send_message(m);
+    }
+    for (const ProcessId succ : proc.successors) {
+      if (message_targets.count(succ)) continue;  // handled by the message
+      input_arrived(succ);
+    }
+  }
+
+  void send_message(MessageId m) {
+    const model::Message& msg = app.message(m);
+    switch (route[m.index()]) {
+      case MessageRoute::Local:
+        out.message_delivery[m.index()] = q.now();
+        input_arrived(msg.dst);
+        break;
+      case MessageRoute::TtToTt:
+      case MessageRoute::TtToEt:
+        send_on_ttp(m);
+        break;
+      case MessageRoute::EtToEt:
+      case MessageRoute::EtToTt: {
+        // Enqueue into the sender node's OutN queue.
+        const std::size_t node = app.process(msg.src).node.index();
+        out_node_bytes[node] += msg.size_bytes;
+        out.max_out_node[app.process(msg.src).node] = std::max(
+            out.max_out_node[app.process(msg.src).node], out_node_bytes[node]);
+        can_pending.emplace(cfg.message_priority(m), m);
+        out.trace.add(q.now(), TraceKind::MessageEnqueue, mname(m) + " -> OutN");
+        try_can();
+        break;
+      }
+    }
+  }
+
+  // ---- TTP leg ------------------------------------------------------------
+
+  void send_on_ttp(MessageId m) {
+    const auto& assignment = ttc.message_slot[m.index()];
+    if (!assignment) {
+      violation("message " + mname(m) + " has no MEDL slot assignment");
+      return;
+    }
+    Time delivery = assignment->delivery;
+    if (q.now() > assignment->tx_start) {
+      violation("message " + mname(m) + " missed its MEDL slot");
+      const auto& tdma = cfg.tdma();
+      delivery = tdma.kth_slot_end(assignment->slot_index, q.now(),
+                                   assignment->rounds);
+    }
+    out.trace.add(q.now(), TraceKind::SlotTx,
+                  mname(m) + " in slot " + std::to_string(assignment->slot_index));
+    q.schedule(delivery, [this, m] { ttp_delivered(m); });
+  }
+
+  void ttp_delivered(MessageId m) {
+    if (route[m.index()] == MessageRoute::TtToTt) {
+      out.message_delivery[m.index()] = q.now();
+      out.trace.add(q.now(), TraceKind::MessageDelivery, mname(m));
+      input_arrived(app.message(m).dst);
+      return;
+    }
+    // TT->ET: frame landed in the gateway MBI; the transfer process T
+    // moves it into OutCAN within its response time r_T = C_T.
+    const Time r_t = platform.gateway_transfer().wcet;
+    q.schedule(q.now() + r_t, [this, m] {
+      out_can_bytes += app.message(m).size_bytes;
+      out.max_out_can = std::max(out.max_out_can, out_can_bytes);
+      can_pending.emplace(cfg.message_priority(m), m);
+      out.trace.add(q.now(), TraceKind::MessageEnqueue, mname(m) + " -> OutCAN");
+      try_can();
+    });
+  }
+
+  // ---- CAN bus --------------------------------------------------------------
+
+  // Arbitration is deferred by one zero-delay event so that every message
+  // enqueued at the current instant (e.g. two messages delivered by one
+  // TTP frame and moved by one transfer-process invocation) participates:
+  // the highest-priority one must win even against an idle bus.
+  void try_can() {
+    if (can_busy || can_arbitration_scheduled || can_pending.empty()) return;
+    can_arbitration_scheduled = true;
+    q.schedule(q.now(), [this] {
+      can_arbitration_scheduled = false;
+      arbitrate_can();
+    });
+  }
+
+  void arbitrate_can() {
+    if (can_busy || can_pending.empty()) return;
+    const auto [prio, m] = *can_pending.begin();
+    can_pending.erase(can_pending.begin());
+    can_busy = true;
+    // Leaving the output queue: the frame is now in the controller.
+    if (route[m.index()] == MessageRoute::TtToEt) {
+      out_can_bytes -= app.message(m).size_bytes;
+    } else {
+      const std::size_t node = app.process(app.message(m).src).node.index();
+      out_node_bytes[node] -= app.message(m).size_bytes;
+    }
+    out.trace.add(q.now(), TraceKind::MessageTxStart, mname(m));
+    q.schedule(q.now() + can_tx[m.index()], [this, m] { can_done(m); });
+  }
+
+  void can_done(MessageId m) {
+    can_busy = false;
+    if (route[m.index()] == MessageRoute::EtToTt) {
+      // Arrived at the gateway CAN controller; into the OutTTP FIFO.
+      if (out_ttp_fifo.empty()) front_bytes_left = app.message(m).size_bytes;
+      out_ttp_fifo.push_back(m);
+      out_ttp_bytes += app.message(m).size_bytes;
+      out.max_out_ttp = std::max(out.max_out_ttp, out_ttp_bytes);
+      out.trace.add(q.now(), TraceKind::MessageEnqueue, mname(m) + " -> OutTTP");
+      schedule_sg_pack();
+    } else {
+      out.message_delivery[m.index()] = q.now();
+      out.trace.add(q.now(), TraceKind::MessageDelivery, mname(m));
+      input_arrived(app.message(m).dst);
+    }
+    try_can();
+  }
+
+  // ---- OutTTP drain through S_G -----------------------------------------
+
+  void schedule_sg_pack() {
+    if (sg_pack_scheduled || out_ttp_fifo.empty()) return;
+    if (!has_sg_slot) {
+      violation("ET->TT message queued but the round has no gateway slot");
+      return;
+    }
+    sg_pack_scheduled = true;
+    const Time t = cfg.tdma().next_slot_start(sg_slot, q.now());
+    q.schedule(t, [this] { sg_pack(); });
+  }
+
+  void sg_pack() {
+    sg_pack_scheduled = false;
+    if (out_ttp_fifo.empty()) return;
+    const auto& tdma = cfg.tdma();
+    std::int64_t capacity = tdma.slot_capacity(sg_slot);
+    const Time slot_end = q.now() + tdma.slot(sg_slot).length;
+    while (!out_ttp_fifo.empty() && capacity > 0) {
+      const MessageId m = out_ttp_fifo.front();
+      const std::int64_t chunk = std::min(front_bytes_left, capacity);
+      capacity -= chunk;
+      front_bytes_left -= chunk;
+      out_ttp_bytes -= chunk;
+      if (front_bytes_left > 0) break;  // head continues next round
+      out_ttp_fifo.pop_front();
+      if (!out_ttp_fifo.empty()) {
+        front_bytes_left = app.message(out_ttp_fifo.front()).size_bytes;
+      }
+      out.trace.add(q.now(), TraceKind::SlotTx, mname(m) + " in S_G");
+      q.schedule(slot_end, [this, m] {
+        out.message_delivery[m.index()] = q.now();
+        out.trace.add(q.now(), TraceKind::MessageDelivery, mname(m));
+        input_arrived(app.message(m).dst);
+      });
+    }
+    if (!out_ttp_fifo.empty()) {
+      sg_pack_scheduled = true;
+      q.schedule(q.now() + tdma.round_length(), [this] { sg_pack(); });
+    }
+  }
+
+  // ---- Arrival bookkeeping -------------------------------------------------
+
+  void input_arrived(ProcessId p) {
+    if (inputs_remaining[p.index()] == 0) return;  // defensive
+    if (--inputs_remaining[p.index()] > 0) return;
+    if (platform.is_tt(app.process(p).node)) {
+      try_start_tt(p);
+    } else {
+      release_et(p);
+    }
+  }
+
+  // ---- Setup and run ---------------------------------------------------------
+
+  void run() {
+    const std::size_t np = app.num_processes();
+    const std::size_t nm = app.num_messages();
+    out.process_start.assign(np, -1);
+    out.process_completion.assign(np, -1);
+    out.message_delivery.assign(nm, -1);
+    out.graph_response.assign(app.num_graphs(), -1);
+    out.trace = Trace(opt.record_trace);
+
+    inputs_remaining.assign(np, 0);
+    started.assign(np, false);
+    finished.assign(np, false);
+    finish_time.assign(np, 0);
+    tt_release_reached.assign(np, false);
+    tt_busy_until.assign(platform.num_nodes(), 0);
+    running.assign(platform.num_nodes(), std::nullopt);
+    ready.assign(platform.num_nodes(), {});
+    et_remaining.assign(np, 0);
+    out_node_bytes.assign(platform.num_nodes(), 0);
+
+    route.resize(nm);
+    can_tx.assign(nm, 0);
+    for (std::size_t mi = 0; mi < nm; ++mi) {
+      const MessageId m(static_cast<MessageId::underlying_type>(mi));
+      route[mi] = core::classify_route(app, platform, m);
+      if (route[mi] == MessageRoute::EtToEt || route[mi] == MessageRoute::EtToTt ||
+          route[mi] == MessageRoute::TtToEt) {
+        can_tx[mi] = platform.can().tx_time(app.message(m).size_bytes);
+      }
+    }
+    if (platform.has_gateway() && cfg.tdma().owns_slot(platform.gateway())) {
+      has_sg_slot = true;
+      sg_slot = cfg.tdma().slot_of(platform.gateway());
+    }
+
+    for (std::size_t pi = 0; pi < np; ++pi) {
+      inputs_remaining[pi] = app.processes()[pi].predecessors.size();
+    }
+    // Releases: TT at schedule-table offsets, ET sources at time 0.
+    for (std::size_t pi = 0; pi < np; ++pi) {
+      const ProcessId p(static_cast<ProcessId::underlying_type>(pi));
+      if (platform.is_tt(app.process(p).node)) {
+        q.schedule(cfg.process_offset(p), [this, p] { tt_release(p); });
+      } else if (inputs_remaining[pi] == 0) {
+        q.schedule(0, [this, p] { release_et(p); });
+      }
+    }
+
+    const Time horizon =
+        opt.horizon > 0 ? opt.horizon : 4 * app.hyper_period();
+    std::int64_t executed = 0;
+    while (executed < opt.max_events && !q.empty() && q.next_time() <= horizon) {
+      (void)q.run_next();
+      ++executed;
+    }
+
+    out.completed = std::all_of(finished.begin(), finished.end(),
+                                [](bool f) { return f; });
+    for (std::size_t pi = 0; pi < np; ++pi) {
+      if (!finished[pi]) continue;
+      auto& response = out.graph_response[app.processes()[pi].graph.index()];
+      response = std::max(response, finish_time[pi]);
+    }
+  }
+};
+
+}  // namespace
+
+SimResult simulate(const Application& app, const arch::Platform& platform,
+                   const SystemConfig& config,
+                   const sched::TtcSchedule& ttc_schedule,
+                   const SimOptions& options) {
+  Sim sim(app, platform, config, ttc_schedule, options);
+  sim.run();
+  return std::move(sim.out);
+}
+
+}  // namespace mcs::sim

@@ -1,0 +1,70 @@
+// Discrete-event simulator of the two-cluster runtime (paper §2.3 /
+// Figure 3), used to cross-validate the schedulability analysis: on the
+// same application, platform and synthesized configuration it executes
+//
+//   * the TT kernels dispatching processes from the schedule tables,
+//   * the TTP controllers broadcasting frames per the MEDL slot
+//     assignments (message packing as synthesized by the list scheduler),
+//   * the gateway transfer process T moving frames between the MBI and
+//     the OutCAN / OutTTP queues,
+//   * CAN arbitration (non-preemptive, highest priority frame wins),
+//   * fixed-priority preemptive scheduling on every ETC node,
+//
+// and reports concrete start/finish/delivery instants plus the maximum
+// observed occupancy of every gateway/node output queue.  Execution times
+// equal the WCETs (the deterministic assumption under which the analysis
+// bounds must dominate every simulated instant — the property the
+// tests/sim suite asserts on randomized systems).
+//
+// One activation per graph is simulated (all graphs released at 0); the
+// analysis is likewise a single-instance-per-period analysis with D <= T,
+// so this window exercises every contention the bounds model.  For
+// multi-rate applications merge into a hyper-graph first
+// (mcs/model/hyperperiod.hpp).
+#pragma once
+
+#include <map>
+
+#include "mcs/core/system_config.hpp"
+#include "mcs/sched/list_scheduler.hpp"
+#include "mcs/sim/trace.hpp"
+
+namespace mcs::sim {
+
+struct SimOptions {
+  bool record_trace = false;
+  std::int64_t max_events = 2'000'000;
+  /// Simulation cutoff; 0 = automatic (4x hyper-period).
+  util::Time horizon = 0;
+};
+
+struct SimResult {
+  bool completed = false;  ///< every process finished before the horizon
+
+  std::vector<util::Time> process_start;       ///< first dispatch
+  std::vector<util::Time> process_completion;  ///< finish instant
+  std::vector<util::Time> message_delivery;    ///< at destination buffer
+  std::vector<util::Time> graph_response;      ///< latest completion per graph
+
+  std::int64_t max_out_can = 0;
+  std::int64_t max_out_ttp = 0;
+  std::map<util::NodeId, std::int64_t> max_out_node;
+
+  /// Causality/feasibility problems observed (schedule-table overlap,
+  /// input not present at a TT start, missed MEDL slot).  Empty for a
+  /// consistent configuration.
+  std::vector<std::string> violations;
+
+  Trace trace{false};
+};
+
+/// Runs one simulation.  `config` supplies offsets (TT schedule tables),
+/// the TDMA round and priorities; `ttc_schedule` the message slot
+/// assignments (as produced by multi_cluster_scheduling).
+[[nodiscard]] SimResult simulate(const model::Application& app,
+                                 const arch::Platform& platform,
+                                 const core::SystemConfig& config,
+                                 const sched::TtcSchedule& ttc_schedule,
+                                 const SimOptions& options = {});
+
+}  // namespace mcs::sim

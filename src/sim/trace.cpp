@@ -1,0 +1,35 @@
+#include "mcs/sim/trace.hpp"
+
+#include <sstream>
+
+namespace mcs::sim {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::ProcessStart: return "start   ";
+    case TraceKind::ProcessPreempt: return "preempt ";
+    case TraceKind::ProcessResume: return "resume  ";
+    case TraceKind::ProcessFinish: return "finish  ";
+    case TraceKind::MessageEnqueue: return "enqueue ";
+    case TraceKind::MessageTxStart: return "tx      ";
+    case TraceKind::MessageDelivery: return "deliver ";
+    case TraceKind::SlotTx: return "slot    ";
+    case TraceKind::Violation: return "VIOLATION";
+  }
+  return "?";
+}
+
+void Trace::add(util::Time time, TraceKind kind, std::string label) {
+  if (!enabled_) return;
+  records_.push_back(TraceRecord{time, kind, std::move(label)});
+}
+
+std::string Trace::to_string() const {
+  std::ostringstream os;
+  for (const TraceRecord& r : records_) {
+    os << "[" << r.time << "] " << sim::to_string(r.kind) << " " << r.label << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mcs::sim

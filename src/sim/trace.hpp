@@ -1,0 +1,50 @@
+// Execution traces: a time-ordered record of scheduling decisions, bus
+// transmissions and queue movements, printable as a textual Gantt log
+// (the examples render these; tests assert on aggregated statistics).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mcs/util/time.hpp"
+
+namespace mcs::sim {
+
+enum class TraceKind {
+  ProcessStart,
+  ProcessPreempt,
+  ProcessResume,
+  ProcessFinish,
+  MessageEnqueue,
+  MessageTxStart,
+  MessageDelivery,
+  SlotTx,
+  Violation,
+};
+
+[[nodiscard]] const char* to_string(TraceKind kind);
+
+struct TraceRecord {
+  util::Time time = 0;
+  TraceKind kind = TraceKind::ProcessStart;
+  std::string label;
+};
+
+class Trace {
+public:
+  explicit Trace(bool enabled = false) : enabled_(enabled) {}
+
+  void add(util::Time time, TraceKind kind, std::string label);
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::string to_string() const;
+
+private:
+  bool enabled_ = false;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace mcs::sim

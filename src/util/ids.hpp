@@ -1,0 +1,77 @@
+// Strongly typed integer identifiers.
+//
+// The model layer is index-based: processes, messages, nodes, graphs and
+// slots are referred to by dense indices into the owning container.  Raw
+// std::size_t indices invite silent cross-domain mixups (passing a node
+// index where a process index is expected), so every domain gets its own
+// tag type.  Ids are trivially copyable, hashable, ordered and printable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace mcs::util {
+
+/// A strongly typed dense index. `Tag` distinguishes unrelated id spaces.
+template <typename Tag>
+class Id {
+public:
+  using underlying_type = std::uint32_t;
+
+  constexpr Id() noexcept = default;
+  constexpr explicit Id(underlying_type v) noexcept : value_(v) {}
+
+  /// Sentinel meaning "no object".
+  [[nodiscard]] static constexpr Id invalid() noexcept {
+    return Id(std::numeric_limits<underlying_type>::max());
+  }
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return value_ != std::numeric_limits<underlying_type>::max();
+  }
+
+  [[nodiscard]] constexpr underlying_type value() const noexcept { return value_; }
+
+  /// Index into a container; caller guarantees validity.
+  [[nodiscard]] constexpr std::size_t index() const noexcept {
+    return static_cast<std::size_t>(value_);
+  }
+
+  friend constexpr bool operator==(Id, Id) noexcept = default;
+  friend constexpr auto operator<=>(Id, Id) noexcept = default;
+
+private:
+  underlying_type value_ = std::numeric_limits<underlying_type>::max();
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, Id<Tag> id) {
+  if (!id.valid()) return os << "<invalid>";
+  return os << id.value();
+}
+
+struct ProcessTag {};
+struct MessageTag {};
+struct NodeTag {};
+struct GraphTag {};
+struct SlotTag {};
+struct ClusterTag {};
+
+using ProcessId = Id<ProcessTag>;
+using MessageId = Id<MessageTag>;
+using NodeId = Id<NodeTag>;
+using GraphId = Id<GraphTag>;
+using SlotId = Id<SlotTag>;
+using ClusterId = Id<ClusterTag>;
+
+}  // namespace mcs::util
+
+template <typename Tag>
+struct std::hash<mcs::util::Id<Tag>> {
+  std::size_t operator()(mcs::util::Id<Tag> id) const noexcept {
+    return std::hash<typename mcs::util::Id<Tag>::underlying_type>{}(id.value());
+  }
+};

@@ -1,0 +1,32 @@
+#include "mcs/util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace mcs::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+[[nodiscard]] const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+namespace detail {
+void emit(LogLevel level, std::string_view msg) {
+  std::clog << "[mcs " << level_name(level) << "] " << msg << '\n';
+}
+}  // namespace detail
+
+}  // namespace mcs::util

@@ -1,0 +1,45 @@
+// Minimal leveled logging.  The optimizers report progress at Info level;
+// tests and benches default to Warn so output stays parseable.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace mcs::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+namespace detail {
+void emit(LogLevel level, std::string_view msg);
+}
+
+/// Usage: MCS_LOG(Info) << "converged in " << n << " iterations";
+#define MCS_LOG(level)                                           \
+  if (::mcs::util::log_level() <= ::mcs::util::LogLevel::level)  \
+  ::mcs::util::detail::LogLine(::mcs::util::LogLevel::level)
+
+namespace detail {
+class LogLine {
+public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { emit(level_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace mcs::util

@@ -1,0 +1,26 @@
+#include "mcs/util/math.hpp"
+
+#include <numeric>
+
+namespace mcs::util {
+
+std::int64_t gcd64(std::int64_t a, std::int64_t b) noexcept {
+  return std::gcd(a, b);
+}
+
+std::int64_t lcm64(std::int64_t a, std::int64_t b) {
+  if (a <= 0 || b <= 0) throw std::invalid_argument("lcm64: arguments must be positive");
+  const std::int64_t g = std::gcd(a, b);
+  const std::int64_t a_over_g = a / g;
+  if (a_over_g > kTimeInfinity / b) throw std::overflow_error("lcm64: overflow");
+  return a_over_g * b;
+}
+
+Time hyper_period(std::span<const Time> periods) {
+  if (periods.empty()) throw std::invalid_argument("hyper_period: empty period set");
+  Time h = 1;
+  for (const Time p : periods) h = lcm64(h, p);
+  return h;
+}
+
+}  // namespace mcs::util

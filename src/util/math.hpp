@@ -1,0 +1,35 @@
+// Small integer math helpers used throughout the analyses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+
+#include "mcs/util/time.hpp"
+
+namespace mcs::util {
+
+/// Ceiling division for non-negative numerator, positive denominator.
+[[nodiscard]] constexpr std::int64_t ceil_div(std::int64_t num, std::int64_t den) {
+  if (den <= 0) throw std::invalid_argument("ceil_div: denominator must be positive");
+  if (num <= 0) return 0;
+  return (num + den - 1) / den;
+}
+
+/// Floor modulus: result is always in [0, m).
+[[nodiscard]] constexpr std::int64_t floor_mod(std::int64_t a, std::int64_t m) {
+  if (m <= 0) throw std::invalid_argument("floor_mod: modulus must be positive");
+  const std::int64_t r = a % m;
+  return r < 0 ? r + m : r;
+}
+
+[[nodiscard]] std::int64_t gcd64(std::int64_t a, std::int64_t b) noexcept;
+
+/// Least common multiple with overflow detection (throws std::overflow_error).
+[[nodiscard]] std::int64_t lcm64(std::int64_t a, std::int64_t b);
+
+/// Hyper-period (LCM) of a set of periods.  Throws on empty input, on
+/// non-positive periods, and on overflow.
+[[nodiscard]] Time hyper_period(std::span<const Time> periods);
+
+}  // namespace mcs::util

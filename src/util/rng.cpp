@@ -1,0 +1,39 @@
+#include "mcs/util/rng.hpp"
+
+namespace mcs::util {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  if (!(lo < hi)) throw std::invalid_argument("Rng::uniform_real: lo >= hi");
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::exponential(double mean) {
+  if (!(mean > 0.0)) throw std::invalid_argument("Rng::exponential: mean must be > 0");
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("Rng::bernoulli: p out of [0,1]");
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+std::size_t Rng::index(std::size_t size) {
+  if (size == 0) throw std::invalid_argument("Rng::index: empty range");
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(size) - 1));
+}
+
+Rng Rng::fork() {
+  return Rng(engine_());
+}
+
+}  // namespace mcs::util

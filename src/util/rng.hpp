@@ -1,0 +1,52 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (workload generator, simulated annealing,
+// hill-climbing tie breaks) draws from an explicitly seeded Rng so that
+// experiments are reproducible run-to-run and across machines.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace mcs::util {
+
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi);
+
+  /// Exponential with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean);
+
+  /// True with probability p in [0, 1].
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// Uniformly chosen index into a container of the given size (> 0).
+  [[nodiscard]] std::size_t index(std::size_t size);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-instance seeding).
+  [[nodiscard]] Rng fork();
+
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mcs::util

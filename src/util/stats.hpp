@@ -1,0 +1,43 @@
+// Descriptive statistics used by the experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mcs::util {
+
+/// Streaming accumulator (Welford) for mean/variance plus min/max.
+class Accumulator {
+public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  [[nodiscard]] double variance() const noexcept;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// p-th percentile (0..100) by linear interpolation; input need not be sorted.
+[[nodiscard]] double percentile(std::span<const double> values, double p);
+
+/// Percentage deviation of `value` from `reference`:
+///   100 * (value - reference) / |reference|,
+/// with the convention used in the paper's Figure 9: when the reference is
+/// 0 the deviation is 0 if value == 0 and +100 per unit otherwise is
+/// meaningless, so we fall back to returning 0 when both are ~0 and +inf
+/// guarded as a large finite sentinel otherwise.
+[[nodiscard]] double percentage_deviation(double value, double reference);
+
+}  // namespace mcs::util

@@ -1,0 +1,34 @@
+// Discrete time.
+//
+// All analyses in this library run on integer time ticks so that the
+// fixed-point iterations of the multi-cluster scheduling algorithm are
+// exact and terminate (no floating-point drift).  A tick has no fixed
+// physical meaning; the examples from the paper use 1 tick = 1 ms, the
+// CAN frame-time helpers use 1 tick = 1 microsecond.  A model must simply
+// be consistent.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mcs::util {
+
+/// Signed so that differences/laxities are representable.
+using Time = std::int64_t;
+
+/// "Unreachable" horizon used to report divergence / unschedulability.
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::max() / 4;
+
+[[nodiscard]] constexpr bool is_finite(Time t) noexcept {
+  return t < kTimeInfinity && t > -kTimeInfinity;
+}
+
+/// Saturating addition: once a response time hits the infinity sentinel it
+/// stays there rather than wrapping around.
+[[nodiscard]] constexpr Time sat_add(Time a, Time b) noexcept {
+  if (!is_finite(a) || !is_finite(b)) return kTimeInfinity;
+  const Time s = a + b;
+  return is_finite(s) ? s : kTimeInfinity;
+}
+
+}  // namespace mcs::util

@@ -1,0 +1,68 @@
+#include "mcs/arch/can.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs::arch {
+namespace {
+
+TEST(Can, WorstCaseFrameBitsStandard) {
+  // Classic Tindell numbers for CAN 2.0A: 8-byte frame worst case is
+  // 47 + 64 + floor((34+64-1)/4) = 47 + 64 + 24 = 135 bits.
+  EXPECT_EQ(worst_case_frame_bits(8, CanFrameFormat::Standard), 135);
+  // 0-byte frame: 47 + 0 + floor(33/4) = 55.
+  EXPECT_EQ(worst_case_frame_bits(0, CanFrameFormat::Standard), 55);
+  // 1 byte: 47 + 8 + floor(41/4) = 65.
+  EXPECT_EQ(worst_case_frame_bits(1, CanFrameFormat::Standard), 65);
+}
+
+TEST(Can, WorstCaseFrameBitsExtended) {
+  // CAN 2.0B: 67 + 64 + floor((54+64-1)/4) = 67 + 64 + 29 = 160.
+  EXPECT_EQ(worst_case_frame_bits(8, CanFrameFormat::Extended), 160);
+}
+
+TEST(Can, FrameBitsRejectOversizedPayload) {
+  EXPECT_THROW((void)worst_case_frame_bits(9, CanFrameFormat::Standard),
+               std::invalid_argument);
+  EXPECT_THROW((void)worst_case_frame_bits(-1, CanFrameFormat::Standard),
+               std::invalid_argument);
+}
+
+TEST(Can, FramesForSegmentation) {
+  EXPECT_EQ(frames_for(1), 1);
+  EXPECT_EQ(frames_for(8), 1);
+  EXPECT_EQ(frames_for(9), 2);
+  EXPECT_EQ(frames_for(32), 4);
+  EXPECT_THROW((void)frames_for(0), std::invalid_argument);
+}
+
+TEST(Can, LinearModel) {
+  const auto bus = CanBusParams::linear(10, 0);
+  EXPECT_EQ(bus.tx_time(1), 10);
+  EXPECT_EQ(bus.tx_time(8), 10);
+  const auto linear = CanBusParams::linear(5, 2);
+  EXPECT_EQ(linear.tx_time(4), 13);
+  EXPECT_THROW((void)linear.tx_time(0), std::invalid_argument);
+}
+
+TEST(Can, ExactModelSegmentsLargeMessages) {
+  // 1 tick per bit.
+  const auto bus = CanBusParams::exact(1);
+  EXPECT_EQ(bus.tx_time(8), 135);
+  EXPECT_EQ(bus.tx_time(16), 270);
+  // 12 bytes: one full frame + one 4-byte frame (47+32+floor(65/4)=95).
+  EXPECT_EQ(bus.tx_time(12), 135 + 95);
+}
+
+TEST(Can, ExactModelScalesWithBitTime) {
+  const auto fast = CanBusParams::exact(1);
+  const auto slow = CanBusParams::exact(4);
+  EXPECT_EQ(slow.tx_time(8), 4 * fast.tx_time(8));
+}
+
+TEST(Can, InvalidParams) {
+  EXPECT_THROW((void)CanBusParams::exact(0), std::invalid_argument);
+  EXPECT_THROW((void)CanBusParams::linear(0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcs::arch

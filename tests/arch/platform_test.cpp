@@ -1,0 +1,55 @@
+#include "mcs/arch/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs::arch {
+namespace {
+
+Platform make_platform() {
+  return Platform(TtpBusParams{1, 0}, CanBusParams::linear(10, 0));
+}
+
+TEST(Platform, NodeKinds) {
+  auto p = make_platform();
+  const auto n1 = p.add_tt_node("N1");
+  const auto n2 = p.add_et_node("N2");
+  const auto ng = p.add_gateway("NG");
+
+  EXPECT_EQ(p.num_nodes(), 3u);
+  EXPECT_TRUE(p.is_tt(n1));
+  EXPECT_FALSE(p.is_et(n1));
+  EXPECT_TRUE(p.is_et(n2));
+  EXPECT_TRUE(p.is_tt(ng));  // gateway participates in the TTC TDMA
+  EXPECT_TRUE(p.node(ng).is_gateway);
+  EXPECT_TRUE(p.has_gateway());
+  EXPECT_EQ(p.gateway(), ng);
+}
+
+TEST(Platform, SingleGatewayEnforced) {
+  auto p = make_platform();
+  (void)p.add_gateway("NG");
+  EXPECT_THROW((void)p.add_gateway("NG2"), std::logic_error);
+}
+
+TEST(Platform, SlotOwnersAndEtNodes) {
+  auto p = make_platform();
+  const auto n1 = p.add_tt_node("N1");
+  const auto n2 = p.add_et_node("N2");
+  const auto n3 = p.add_tt_node("N3");
+  const auto ng = p.add_gateway("NG");
+
+  const auto owners = p.ttp_slot_owners();
+  EXPECT_EQ(owners, (std::vector<util::NodeId>{n1, n3, ng}));
+  EXPECT_EQ(p.et_nodes(), (std::vector<util::NodeId>{n2}));
+}
+
+TEST(Platform, GatewayTransferParams) {
+  auto p = make_platform();
+  EXPECT_EQ(p.gateway_transfer().wcet, 0);
+  p.set_gateway_transfer({5, 10});
+  EXPECT_EQ(p.gateway_transfer().wcet, 5);
+  EXPECT_EQ(p.gateway_transfer().period, 10);
+}
+
+}  // namespace
+}  // namespace mcs::arch

@@ -1,0 +1,105 @@
+#include "mcs/arch/ttp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs::arch {
+namespace {
+
+using util::NodeId;
+using util::Time;
+
+TdmaRound paper_round() {
+  // Figure 4a: [S_G(20) S_1(20)], 1 byte/ms, no overhead.
+  return TdmaRound({Slot{NodeId(2), 20}, Slot{NodeId(0), 20}}, TtpBusParams{1, 0});
+}
+
+TEST(TdmaRound, Layout) {
+  const auto r = paper_round();
+  EXPECT_EQ(r.round_length(), 40);
+  EXPECT_EQ(r.num_slots(), 2u);
+  EXPECT_EQ(r.slot_offset(0), 0);
+  EXPECT_EQ(r.slot_offset(1), 20);
+  EXPECT_EQ(r.slot_capacity(0), 20);
+  EXPECT_EQ(r.slot_of(NodeId(2)), 0u);
+  EXPECT_EQ(r.slot_of(NodeId(0)), 1u);
+  EXPECT_TRUE(r.owns_slot(NodeId(0)));
+  EXPECT_FALSE(r.owns_slot(NodeId(7)));
+  EXPECT_THROW((void)r.slot_of(NodeId(7)), std::out_of_range);
+}
+
+TEST(TdmaRound, InvalidConstruction) {
+  const TtpBusParams params{1, 0};
+  EXPECT_THROW(TdmaRound({}, params), std::invalid_argument);
+  EXPECT_THROW(TdmaRound({Slot{NodeId(0), 0}}, params), std::invalid_argument);
+  EXPECT_THROW(TdmaRound({Slot{NodeId::invalid(), 5}}, params), std::invalid_argument);
+  // One slot per node per round.
+  EXPECT_THROW(TdmaRound({Slot{NodeId(0), 5}, Slot{NodeId(0), 5}}, params),
+               std::invalid_argument);
+}
+
+TEST(TdmaRound, NextSlotStart) {
+  const auto r = paper_round();
+  // Slot 1 (S1) starts at 20, 60, 100, ...
+  EXPECT_EQ(r.next_slot_start(1, 0), 20);
+  EXPECT_EQ(r.next_slot_start(1, 20), 20);
+  EXPECT_EQ(r.next_slot_start(1, 21), 60);
+  EXPECT_EQ(r.next_slot_start(1, 30), 60);   // paper: P1 done at 30 -> round 2
+  EXPECT_EQ(r.next_slot_start(1, 60), 60);
+  EXPECT_EQ(r.next_slot_end(1, 30), 80);     // m1/m2 delivered at 80
+  // Slot 0 (S_G) starts at 0, 40, 80, ...
+  EXPECT_EQ(r.next_slot_start(0, 155), 160);
+  EXPECT_EQ(r.next_slot_end(0, 155), 180);   // m3 delivered at 180 (Fig. 4a)
+}
+
+TEST(TdmaRound, KthSlotEnd) {
+  const auto r = paper_round();
+  EXPECT_EQ(r.kth_slot_end(0, 155, 1), 180);
+  EXPECT_EQ(r.kth_slot_end(0, 155, 2), 220);  // one extra round
+  EXPECT_EQ(r.kth_slot_end(0, 0, 1), 20);
+  EXPECT_THROW((void)r.kth_slot_end(0, 0, 0), std::invalid_argument);
+}
+
+TEST(TdmaRound, SwapAndResize) {
+  const auto r = paper_round();
+  const auto swapped = r.with_swapped_slots(0, 1);
+  EXPECT_EQ(swapped.slot(0).owner, NodeId(0));
+  EXPECT_EQ(swapped.slot(1).owner, NodeId(2));
+  EXPECT_EQ(swapped.round_length(), 40);
+  // Figure 4b: S1 first -> delivery of m1/m2 moves from 80 to 60.
+  EXPECT_EQ(swapped.next_slot_end(0, 30), 60);
+
+  const auto resized = r.with_slot_length(1, 30);
+  EXPECT_EQ(resized.round_length(), 50);
+  EXPECT_EQ(resized.slot_capacity(1), 30);
+  EXPECT_THROW((void)r.with_slot_length(1, 0), std::invalid_argument);
+}
+
+TEST(TdmaRound, CapacityWithOverhead) {
+  const TdmaRound r({Slot{NodeId(0), 25}}, TtpBusParams{2, 5});
+  EXPECT_EQ(r.slot_capacity(0), 10);  // (25 - 5) / 2
+  const TdmaRound tiny({Slot{NodeId(0), 4}}, TtpBusParams{2, 5});
+  EXPECT_EQ(tiny.slot_capacity(0), 0);
+}
+
+TEST(Medl, ExpandsCalendar) {
+  const auto r = paper_round();
+  const auto medl = expand_medl(r, 100);
+  // Rounds at 0, 40, 80: slots at 0,20 / 40,60 / 80 (cut at horizon).
+  ASSERT_EQ(medl.size(), 5u);
+  EXPECT_EQ(medl[0].start, 0);
+  EXPECT_EQ(medl[0].owner, NodeId(2));
+  EXPECT_EQ(medl[1].start, 20);
+  EXPECT_EQ(medl[1].owner, NodeId(0));
+  EXPECT_EQ(medl[4].start, 80);
+  EXPECT_THROW((void)expand_medl(r, 0), std::invalid_argument);
+}
+
+TEST(TdmaRound, ToStringMentionsAllSlots) {
+  const auto s = paper_round().to_string();
+  EXPECT_NE(s.find("N2"), std::string::npos);
+  EXPECT_NE(s.find("N0"), std::string::npos);
+  EXPECT_NE(s.find("round=40"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcs::arch

@@ -1,0 +1,135 @@
+// Parameterized sweeps over the paper example's design knobs, asserting
+// structural properties of the analysis at every point (gtest TEST_P).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mcs/core/degree_of_schedulability.hpp"
+#include "mcs/core/gateway_analysis.hpp"
+#include "mcs/core/multi_cluster_scheduling.hpp"
+#include "mcs/gen/paper_example.hpp"
+#include "mcs/sim/simulator.hpp"
+
+namespace mcs::core {
+namespace {
+
+// ---- Sweep 1: S1 slot length x slot order x priority order -------------
+
+struct SweepParam {
+  util::Time s1_length;
+  bool gateway_first;
+  bool p2_high;
+  int msg_priority_permutation;  // 0..5: order of (m1, m2, m3)
+
+  friend std::ostream& operator<<(std::ostream& os, const SweepParam& p) {
+    return os << "s1len" << p.s1_length << (p.gateway_first ? "_sgfirst" : "_s1first")
+              << (p.p2_high ? "_p2high" : "_p3high") << "_perm"
+              << p.msg_priority_permutation;
+  }
+};
+
+class Figure4Sweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(Figure4Sweep, AnalysisConsistentAndDominatesSimulation) {
+  const auto param = GetParam();
+  const auto ex = gen::make_paper_example();
+
+  std::vector<arch::Slot> slots;
+  const arch::Slot sg{ex.ng, 20};
+  const arch::Slot s1{ex.n1, param.s1_length};
+  if (param.gateway_first) {
+    slots = {sg, s1};
+  } else {
+    slots = {s1, sg};
+  }
+  SystemConfig cfg(ex.app, arch::TdmaRound(std::move(slots), ex.platform.ttp()));
+
+  static constexpr int kPerms[6][3] = {{0, 1, 2}, {0, 2, 1}, {1, 0, 2},
+                                       {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  const auto& perm = kPerms[param.msg_priority_permutation];
+  cfg.set_message_priority(ex.m1, perm[0]);
+  cfg.set_message_priority(ex.m2, perm[1]);
+  cfg.set_message_priority(ex.m3, perm[2]);
+  cfg.set_process_priority(ex.p2, param.p2_high ? 0 : 1);
+  cfg.set_process_priority(ex.p3, param.p2_high ? 1 : 0);
+
+  const auto mcs = multi_cluster_scheduling(ex.app, ex.platform, cfg, McsOptions{});
+  ASSERT_TRUE(mcs.converged);
+  const auto& a = mcs.analysis;
+
+  // Structural invariants at every sweep point.
+  for (std::size_t pi = 0; pi < ex.app.num_processes(); ++pi) {
+    EXPECT_GE(a.process_response[pi], ex.app.processes()[pi].wcet);
+    EXPECT_GE(a.process_offsets[pi], 0);
+  }
+  for (std::size_t mi = 0; mi < ex.app.num_messages(); ++mi) {
+    EXPECT_EQ(a.message_delivery[mi], a.message_offsets[mi] + a.message_response[mi]);
+  }
+  const auto delta = degree_of_schedulability(ex.app, a);
+  EXPECT_EQ(delta.schedulable(), mcs.schedulable(ex.app));
+
+  // The simulated concrete run never exceeds any bound.
+  const auto sim = sim::simulate(ex.app, ex.platform, cfg, mcs.schedule);
+  ASSERT_TRUE(sim.completed);
+  ASSERT_TRUE(sim.violations.empty())
+      << sim.violations.front();
+  for (std::size_t pi = 0; pi < ex.app.num_processes(); ++pi) {
+    EXPECT_LE(sim.process_completion[pi],
+              a.process_offsets[pi] + a.process_response[pi]);
+  }
+  for (std::size_t mi = 0; mi < ex.app.num_messages(); ++mi) {
+    EXPECT_LE(sim.message_delivery[mi], a.message_delivery[mi]);
+  }
+  EXPECT_LE(sim.max_out_can, a.buffers.out_can);
+  EXPECT_LE(sim.max_out_ttp, a.buffers.out_ttp);
+}
+
+std::vector<SweepParam> sweep_grid() {
+  std::vector<SweepParam> grid;
+  for (const util::Time s1_length : {8, 16, 20}) {
+    for (const bool gateway_first : {true, false}) {
+      for (const bool p2_high : {true, false}) {
+        for (int perm = 0; perm < 6; ++perm) {
+          grid.push_back(SweepParam{s1_length, gateway_first, p2_high, perm});
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+INSTANTIATE_TEST_SUITE_P(DesignSpace, Figure4Sweep,
+                         ::testing::ValuesIn(sweep_grid()),
+                         [](const auto& info) {
+                           std::ostringstream os;
+                           os << info.param;
+                           return os.str();
+                         });
+
+// ---- Sweep 2: gateway slot length affects only ET->TT timing -----------
+
+class GatewaySlotSweep : public ::testing::TestWithParam<util::Time> {};
+
+TEST_P(GatewaySlotSweep, WiderGatewaySlotNeverDelaysDrainRounds) {
+  const auto ex = gen::make_paper_example();
+  std::vector<arch::Slot> slots{arch::Slot{ex.ng, GetParam()},
+                                arch::Slot{ex.n1, 20}};
+  SystemConfig cfg(ex.app, arch::TdmaRound(std::move(slots), ex.platform.ttp()));
+  cfg.set_message_priority(ex.m1, 0);
+  cfg.set_message_priority(ex.m2, 1);
+  cfg.set_message_priority(ex.m3, 2);
+  cfg.set_process_priority(ex.p3, 0);
+  cfg.set_process_priority(ex.p2, 1);
+  const auto mcs = multi_cluster_scheduling(ex.app, ex.platform, cfg, McsOptions{});
+  ASSERT_TRUE(mcs.converged);
+  // m3 (8 bytes) always fits a single gateway slot occurrence.
+  const auto drained = ttp_drain(cfg.tdma(), 0, /*arrival=*/155, 8,
+                                 TtpQueueModel::Exact);
+  EXPECT_EQ(drained.rounds, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, GatewaySlotSweep,
+                         ::testing::Values(8, 12, 20, 32, 40));
+
+}  // namespace
+}  // namespace mcs::core

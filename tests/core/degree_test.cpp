@@ -1,0 +1,64 @@
+#include "mcs/core/degree_of_schedulability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs::core {
+namespace {
+
+model::Application two_graph_app() {
+  model::Application app;
+  const auto g1 = app.add_graph("G1", 100, 80);
+  const auto g2 = app.add_graph("G2", 200, 150);
+  (void)app.add_process(g1, "P1", util::NodeId(0), 10);
+  (void)app.add_process(g2, "P2", util::NodeId(0), 10);
+  return app;
+}
+
+AnalysisResult with_responses(std::vector<util::Time> graph_response) {
+  AnalysisResult r;
+  r.converged = true;
+  r.graph_response = std::move(graph_response);
+  return r;
+}
+
+TEST(Degree, SchedulableUsesF2) {
+  const auto app = two_graph_app();
+  const auto s = degree_of_schedulability(app, with_responses({70, 120}));
+  EXPECT_TRUE(s.schedulable());
+  EXPECT_EQ(s.f1, 0);
+  EXPECT_EQ(s.f2, (70 - 80) + (120 - 150));
+  EXPECT_EQ(s.delta(), -40);
+}
+
+TEST(Degree, UnschedulableUsesF1) {
+  const auto app = two_graph_app();
+  // G1 misses by 30, G2 meets with slack 50: f1 counts only the miss.
+  const auto s = degree_of_schedulability(app, with_responses({110, 100}));
+  EXPECT_FALSE(s.schedulable());
+  EXPECT_EQ(s.f1, 30);
+  EXPECT_EQ(s.delta(), 30);
+}
+
+TEST(Degree, OrderingPrefersSchedulable) {
+  const auto app = two_graph_app();
+  const auto sched = degree_of_schedulability(app, with_responses({79, 149}));
+  const auto unsched = degree_of_schedulability(app, with_responses({81, 10}));
+  // The unschedulable config has a much better f2 but must still lose.
+  EXPECT_LT(sched, unsched);
+}
+
+TEST(Degree, OrderingWithinSchedulablePrefersSmallerF2) {
+  const auto app = two_graph_app();
+  const auto tight = degree_of_schedulability(app, with_responses({79, 149}));
+  const auto loose = degree_of_schedulability(app, with_responses({40, 100}));
+  EXPECT_LT(loose, tight);
+}
+
+TEST(Degree, BothMissesAccumulate) {
+  const auto app = two_graph_app();
+  const auto s = degree_of_schedulability(app, with_responses({90, 170}));
+  EXPECT_EQ(s.f1, 10 + 20);
+}
+
+}  // namespace
+}  // namespace mcs::core

@@ -1,0 +1,191 @@
+// Regression tests pinning the analysis semantics to the paper's worked
+// example (Figure 4 and the §4.2 response-time example, Figure 6).
+//
+// Expected values come directly from the paper text for configuration (a):
+//   O2 = O3 = 80, J2 = 15, J3 = 25, I2 = 20, r2 = 55, r3 = 45,
+//   w_m2 = 10, w_m3 = 10, O4 = 180, r_G1 = 210 > D = 200 (missed),
+//   T_TDMA = 40, r_T = 5, C_m = 10.
+// Configuration (b) meets the deadline (we measure 190).  Configuration
+// (c) under the paper's stated SG-first bus layout still lands P4 at 180
+// (the TDMA phase quantizes away the 20 ms interference gain), giving 210;
+// with the S1-first layout it meets at 190 — see EXPERIMENTS.md for the
+// discussion of this discrepancy in the paper's prose.
+#include <gtest/gtest.h>
+
+#include "mcs/core/degree_of_schedulability.hpp"
+#include "mcs/core/multi_cluster_scheduling.hpp"
+#include "mcs/gen/paper_example.hpp"
+
+namespace mcs {
+namespace {
+
+using core::McsOptions;
+using core::McsResult;
+using gen::Figure4Variant;
+using gen::PaperExample;
+
+McsResult run(const PaperExample& ex, core::SystemConfig& cfg) {
+  return core::multi_cluster_scheduling(ex.app, ex.platform, cfg, McsOptions{});
+}
+
+TEST(Figure4, ConfigurationA_MatchesEveryPublishedNumber) {
+  PaperExample ex = gen::make_paper_example();
+  core::SystemConfig cfg = gen::make_figure4_config(ex, Figure4Variant::A);
+  const McsResult r = run(ex, cfg);
+
+  ASSERT_TRUE(r.converged);
+  const auto& a = r.analysis;
+
+  // TTP leg: m1, m2 packed into S1 of round 2, delivered at 80.
+  EXPECT_EQ(a.message_offsets[ex.m1.index()], 80);
+  EXPECT_EQ(a.message_offsets[ex.m2.index()], 80);
+
+  // Offsets of the receiving ET processes.
+  EXPECT_EQ(a.process_offsets[ex.p2.index()], 80);  // O2
+  EXPECT_EQ(a.process_offsets[ex.p3.index()], 80);  // O3
+
+  // Gateway CAN leg: r_m1 = r_T + 0 + C_m = 15; r_m2 = r_T + w_m2 + C_m = 25.
+  EXPECT_EQ(a.message_queue_delay[ex.m1.index()], 0);   // w_m1
+  EXPECT_EQ(a.message_queue_delay[ex.m2.index()], 10);  // w_m2
+  EXPECT_EQ(a.message_response[ex.m1.index()], 15);
+  EXPECT_EQ(a.message_response[ex.m2.index()], 25);
+
+  // Jitters of P2/P3 equal the message response times.
+  EXPECT_EQ(a.process_jitter[ex.p2.index()], 15);  // J2
+  EXPECT_EQ(a.process_jitter[ex.p3.index()], 25);  // J3
+
+  // Interference: P3 (higher priority) preempts P2 once.
+  EXPECT_EQ(a.process_interference[ex.p2.index()], 20);  // I2
+  EXPECT_EQ(a.process_interference[ex.p3.index()], 0);
+
+  // Response times on N2.
+  EXPECT_EQ(a.process_response[ex.p2.index()], 55);  // r2
+  EXPECT_EQ(a.process_response[ex.p3.index()], 45);  // r3
+
+  // m3: CAN leg w = 10, arrival at gateway 155, S_G slot [160,180).
+  EXPECT_EQ(a.message_queue_delay[ex.m3.index()], 10);  // w_m3
+  EXPECT_EQ(a.message_delivery[ex.m3.index()], 180);
+
+  // P4 placed after the worst-case arrival of m3.
+  EXPECT_EQ(a.process_offsets[ex.p4.index()], 180);  // O4
+
+  // End-to-end: r_G1 = O4 + C4 = 210 > 200 -> not schedulable.
+  EXPECT_EQ(a.graph_response[ex.g1.index()], 210);
+  EXPECT_FALSE(r.schedulable(ex.app));
+
+  const auto delta = core::degree_of_schedulability(ex.app, a);
+  EXPECT_EQ(delta.f1, 10);  // 210 - 200
+  EXPECT_FALSE(delta.schedulable());
+}
+
+TEST(Figure4, ConfigurationB_SlotSwapMeetsDeadline) {
+  PaperExample ex = gen::make_paper_example();
+  core::SystemConfig cfg = gen::make_figure4_config(ex, Figure4Variant::B);
+  const McsResult r = run(ex, cfg);
+
+  ASSERT_TRUE(r.converged);
+  const auto& a = r.analysis;
+
+  // S1 first: m1/m2 go out in S1 of round 2 = [40,60), delivered at 60.
+  EXPECT_EQ(a.process_offsets[ex.p2.index()], 60);
+  EXPECT_EQ(a.process_offsets[ex.p3.index()], 60);
+
+  // Same local analysis, shifted 20 earlier; S_G of round 4 = [140,160).
+  EXPECT_EQ(a.message_delivery[ex.m3.index()], 160);
+  EXPECT_EQ(a.process_offsets[ex.p4.index()], 160);
+  EXPECT_EQ(a.graph_response[ex.g1.index()], 190);
+  EXPECT_TRUE(r.schedulable(ex.app));
+}
+
+TEST(Figure4, ConfigurationC_PrioritySwapRemovesInterference) {
+  PaperExample ex = gen::make_paper_example();
+  core::SystemConfig cfg = gen::make_figure4_config(ex, Figure4Variant::C);
+  const McsResult r = run(ex, cfg);
+
+  ASSERT_TRUE(r.converged);
+  const auto& a = r.analysis;
+
+  // P2 is now the high-priority process: no interference from P3.
+  EXPECT_EQ(a.process_interference[ex.p2.index()], 0);
+  EXPECT_EQ(a.process_response[ex.p2.index()], 35);  // 15 + 0 + 20
+
+  // The 20 ms gain is quantized away by the TDMA phase: m3's worst-case
+  // gateway arrival drops 155 -> 135, but both land in S_G = [160,180).
+  EXPECT_EQ(a.message_delivery[ex.m3.index()], 180);
+  EXPECT_EQ(a.graph_response[ex.g1.index()], 210);
+}
+
+TEST(Figure4, ConfigurationC_WithSlotSwapMeets) {
+  PaperExample ex = gen::make_paper_example();
+  core::SystemConfig cfg = gen::make_figure4_config(ex, Figure4Variant::CSlotFirst);
+  const McsResult r = run(ex, cfg);
+
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.analysis.graph_response[ex.g1.index()], 190);
+  EXPECT_TRUE(r.schedulable(ex.app));
+}
+
+TEST(Figure4, ConservativeAnalysisIsNeverTighter) {
+  PaperExample ex = gen::make_paper_example();
+  for (const auto variant : {Figure4Variant::A, Figure4Variant::B,
+                             Figure4Variant::C, Figure4Variant::CSlotFirst}) {
+    core::SystemConfig cfg_pruned = gen::make_figure4_config(ex, variant);
+    core::SystemConfig cfg_cons = gen::make_figure4_config(ex, variant);
+
+    McsOptions pruned;
+    pruned.analysis.offset_pruning = true;
+    McsOptions conservative;
+    conservative.analysis.offset_pruning = false;
+
+    const McsResult rp =
+        core::multi_cluster_scheduling(ex.app, ex.platform, cfg_pruned, pruned);
+    const McsResult rc = core::multi_cluster_scheduling(ex.app, ex.platform,
+                                                        cfg_cons, conservative);
+    for (std::size_t i = 0; i < ex.app.num_processes(); ++i) {
+      EXPECT_LE(rp.analysis.process_response[i], rc.analysis.process_response[i])
+          << "process " << i;
+    }
+    for (std::size_t i = 0; i < ex.app.num_messages(); ++i) {
+      EXPECT_LE(rp.analysis.message_delivery[i], rc.analysis.message_delivery[i])
+          << "message " << i;
+    }
+  }
+}
+
+TEST(Figure4, PaperTtpFormulaIsNeverTighterThanExact) {
+  PaperExample ex = gen::make_paper_example();
+  for (const auto variant : {Figure4Variant::A, Figure4Variant::B}) {
+    core::SystemConfig cfg_exact = gen::make_figure4_config(ex, variant);
+    core::SystemConfig cfg_paper = gen::make_figure4_config(ex, variant);
+
+    McsOptions exact;
+    exact.analysis.ttp_queue_model = core::TtpQueueModel::Exact;
+    McsOptions paper;
+    paper.analysis.ttp_queue_model = core::TtpQueueModel::PaperFormula;
+
+    const McsResult re =
+        core::multi_cluster_scheduling(ex.app, ex.platform, cfg_exact, exact);
+    const McsResult rp =
+        core::multi_cluster_scheduling(ex.app, ex.platform, cfg_paper, paper);
+    EXPECT_LE(re.analysis.message_delivery[ex.m3.index()],
+              rp.analysis.message_delivery[ex.m3.index()]);
+    EXPECT_LE(re.analysis.graph_response[ex.g1.index()],
+              rp.analysis.graph_response[ex.g1.index()]);
+  }
+}
+
+TEST(Figure4, BufferBounds) {
+  PaperExample ex = gen::make_paper_example();
+  core::SystemConfig cfg = gen::make_figure4_config(ex, Figure4Variant::A);
+  const McsResult r = run(ex, cfg);
+
+  // OutCAN: worst case is m2 waiting behind one instance of m1: 16 bytes.
+  EXPECT_EQ(r.analysis.buffers.out_can, 16);
+  // OutN2 holds only m3; OutTTP holds only m3.
+  EXPECT_EQ(r.analysis.buffers.out_node.at(ex.n2), 8);
+  EXPECT_EQ(r.analysis.buffers.out_ttp, 8);
+  EXPECT_EQ(r.analysis.buffers.total(), 32);
+}
+
+}  // namespace
+}  // namespace mcs

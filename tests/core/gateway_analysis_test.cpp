@@ -1,0 +1,93 @@
+#include "mcs/core/gateway_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs::core {
+namespace {
+
+using arch::Slot;
+using arch::TdmaRound;
+using arch::TtpBusParams;
+using util::NodeId;
+using util::Time;
+
+TdmaRound paper_round() {
+  // [S_G(20) S_1(20)], gateway owns slot 0; capacity 20 bytes.
+  return TdmaRound({Slot{NodeId(2), 20}, Slot{NodeId(0), 20}}, TtpBusParams{1, 0});
+}
+
+TEST(TtpDrain, ExactSingleMessage) {
+  const auto round = paper_round();
+  // Figure 4a: m3 (8 bytes) arrives at 155; S_G of round 5 is [160, 180).
+  const auto r = ttp_drain(round, 0, 155, 8, TtpQueueModel::Exact);
+  EXPECT_EQ(r.delivery, 180);
+  EXPECT_EQ(r.wait, 25);
+  EXPECT_EQ(r.rounds, 1);
+}
+
+TEST(TtpDrain, ExactBoundaryArrival) {
+  const auto round = paper_round();
+  // Arriving exactly at a slot start catches that slot.
+  EXPECT_EQ(ttp_drain(round, 0, 160, 8, TtpQueueModel::Exact).delivery, 180);
+  // One tick later waits for the next round.
+  EXPECT_EQ(ttp_drain(round, 0, 161, 8, TtpQueueModel::Exact).delivery, 220);
+}
+
+TEST(TtpDrain, ExactMultiRoundDrain) {
+  const auto round = paper_round();
+  // 50 bytes at 20 bytes/slot -> 3 occurrences.
+  const auto r = ttp_drain(round, 0, 0, 50, TtpQueueModel::Exact);
+  EXPECT_EQ(r.rounds, 3);
+  EXPECT_EQ(r.delivery, 2 * 40 + 20);  // end of the third S_G
+}
+
+TEST(TtpDrain, ExactIsMonotoneInArrival) {
+  const auto round = paper_round();
+  Time last = 0;
+  for (Time arrival = 0; arrival <= 200; ++arrival) {
+    const auto r = ttp_drain(round, 0, arrival, 8, TtpQueueModel::Exact);
+    EXPECT_GE(r.delivery, last);
+    EXPECT_GE(r.delivery, arrival);
+    last = r.delivery;
+  }
+}
+
+TEST(TtpDrain, PaperFormulaDominatesExact) {
+  const auto round = paper_round();
+  for (Time arrival = 0; arrival <= 200; arrival += 7) {
+    for (std::int64_t bytes : {1, 8, 20, 33, 60}) {
+      const auto exact = ttp_drain(round, 0, arrival, bytes, TtpQueueModel::Exact);
+      const auto paper =
+          ttp_drain(round, 0, arrival, bytes, TtpQueueModel::PaperFormula);
+      EXPECT_GE(paper.delivery, exact.delivery)
+          << "arrival=" << arrival << " bytes=" << bytes;
+    }
+  }
+}
+
+TEST(TtpDrain, PaperFormulaMatchesClosedForm) {
+  const auto round = paper_round();
+  // B_m = 40 - (155 mod 40) + 0 = 5; w = 5 + ceil(8/20)*40 = 45;
+  // delivery = 155 + 45 + 20 = 220.
+  const auto r = ttp_drain(round, 0, 155, 8, TtpQueueModel::PaperFormula);
+  EXPECT_EQ(r.delivery, 220);
+}
+
+TEST(TtpDrain, NonGatewaySlotOffsetRespected) {
+  const auto round = paper_round();
+  // Use slot 1 ([20,40) within each round) as the draining slot.
+  const auto r = ttp_drain(round, 1, 45, 8, TtpQueueModel::Exact);
+  EXPECT_EQ(r.delivery, 80);  // slot 1 of round 2: [60, 80)
+}
+
+TEST(TtpDrain, Errors) {
+  const auto round = paper_round();
+  EXPECT_THROW((void)ttp_drain(round, 0, 0, 0, TtpQueueModel::Exact),
+               std::invalid_argument);
+  const TdmaRound degenerate({Slot{NodeId(0), 3}}, TtpBusParams{5, 0});
+  EXPECT_THROW((void)ttp_drain(degenerate, 0, 0, 8, TtpQueueModel::Exact),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcs::core

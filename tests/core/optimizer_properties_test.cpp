@@ -1,0 +1,130 @@
+// Property tests of the optimization layer on randomized systems
+// (parameterized over generator seeds).
+#include <gtest/gtest.h>
+
+#include "mcs/core/optimize_resources.hpp"
+#include "mcs/core/simulated_annealing.hpp"
+#include "mcs/core/straightforward.hpp"
+#include "mcs/gen/generator.hpp"
+
+namespace mcs::core {
+namespace {
+
+class OptimizerProperties : public ::testing::TestWithParam<std::uint64_t> {
+protected:
+  static gen::GeneratedSystem make_system(std::uint64_t seed) {
+    gen::GeneratorParams p;
+    p.tt_nodes = 2;
+    p.et_nodes = 2;
+    p.processes_per_node = 8;
+    p.processes_per_graph = 16;
+    p.target_inter_cluster_messages = 6;
+    p.seed = seed;
+    return gen::generate(p);
+  }
+};
+
+TEST_P(OptimizerProperties, OsNeverWorseThanSf) {
+  const auto sys = make_system(GetParam());
+  const MoveContext ctx(sys.app, sys.platform, McsOptions{});
+  const auto sf = straightforward(ctx);
+  OptimizeScheduleOptions options;
+  options.hopa.max_iterations = 2;
+  const auto os = optimize_schedule(ctx, options);
+  // OS explores a superset of SF's configuration space and keeps the best.
+  EXPECT_FALSE(sf.evaluation.delta < os.best_eval.delta)
+      << "SF f1=" << sf.evaluation.delta.f1 << " f2=" << sf.evaluation.delta.f2
+      << " OS f1=" << os.best_eval.delta.f1 << " f2=" << os.best_eval.delta.f2;
+}
+
+TEST_P(OptimizerProperties, OrPreservesSchedulabilityAndNeverInflatesBuffers) {
+  const auto sys = make_system(GetParam());
+  const MoveContext ctx(sys.app, sys.platform, McsOptions{});
+  OptimizeResourcesOptions options;
+  options.schedule.hopa.max_iterations = 2;
+  options.max_climb_iterations = 4;
+  options.neighbors_per_step = 12;
+  const auto result = optimize_resources(ctx, options);
+  EXPECT_LE(result.best_eval.s_total, result.s_total_before);
+  // If step 1 found a schedulable system, the final answer must be too.
+  const auto os = optimize_schedule(ctx, options.schedule);
+  if (os.best_eval.schedulable) {
+    EXPECT_TRUE(result.best_eval.schedulable);
+  }
+}
+
+TEST_P(OptimizerProperties, EvaluationIsDeterministic) {
+  const auto sys = make_system(GetParam());
+  const MoveContext ctx(sys.app, sys.platform, McsOptions{});
+  const Candidate candidate = Candidate::initial(sys.app, sys.platform);
+  const Evaluation a = ctx.evaluate(candidate);
+  const Evaluation b = ctx.evaluate(candidate);
+  EXPECT_EQ(a.s_total, b.s_total);
+  EXPECT_EQ(a.delta.f1, b.delta.f1);
+  EXPECT_EQ(a.delta.f2, b.delta.f2);
+  EXPECT_EQ(a.schedulable, b.schedulable);
+  EXPECT_EQ(a.mcs.analysis.graph_response, b.mcs.analysis.graph_response);
+}
+
+TEST_P(OptimizerProperties, SlotSwapTwiceIsIdentity) {
+  const auto sys = make_system(GetParam());
+  const MoveContext ctx(sys.app, sys.platform, McsOptions{});
+  Candidate candidate = Candidate::initial(sys.app, sys.platform);
+  const Evaluation before = ctx.evaluate(candidate);
+  ASSERT_TRUE(ctx.apply(SwapSlotsMove{0, 1}, candidate));
+  ASSERT_TRUE(ctx.apply(SwapSlotsMove{0, 1}, candidate));
+  const Evaluation after = ctx.evaluate(candidate);
+  EXPECT_EQ(before.s_total, after.s_total);
+  EXPECT_EQ(before.delta.f1, after.delta.f1);
+  EXPECT_EQ(before.delta.f2, after.delta.f2);
+}
+
+TEST_P(OptimizerProperties, PrioritySwapTwiceIsIdentity) {
+  const auto sys = make_system(GetParam());
+  const MoveContext ctx(sys.app, sys.platform, McsOptions{});
+  if (ctx.can_messages().size() < 2) GTEST_SKIP();
+  Candidate candidate = Candidate::initial(sys.app, sys.platform);
+  const auto a = ctx.can_messages()[0];
+  const auto b = ctx.can_messages()[1];
+  const Evaluation before = ctx.evaluate(candidate);
+  ASSERT_TRUE(ctx.apply(SwapMessagePrioritiesMove{a, b}, candidate));
+  ASSERT_TRUE(ctx.apply(SwapMessagePrioritiesMove{a, b}, candidate));
+  const Evaluation after = ctx.evaluate(candidate);
+  EXPECT_EQ(before.delta.f2, after.delta.f2);
+}
+
+TEST_P(OptimizerProperties, RandomMovesStayApplicable) {
+  const auto sys = make_system(GetParam());
+  const MoveContext ctx(sys.app, sys.platform, McsOptions{});
+  Candidate candidate = Candidate::initial(sys.app, sys.platform);
+  Evaluation eval = ctx.evaluate(candidate);
+  util::Rng rng(GetParam() * 31 + 7);
+  for (int i = 0; i < 25; ++i) {
+    const Move move = ctx.random_move(candidate, eval, rng);
+    Candidate next = candidate;
+    if (!ctx.apply(move, next)) continue;  // no-op moves are allowed
+    eval = ctx.evaluate(next);
+    candidate = std::move(next);
+    // Applying a move never breaks structural invariants.
+    EXPECT_EQ(candidate.tdma.num_slots(),
+              sys.platform.ttp_slot_owners().size());
+  }
+}
+
+TEST_P(OptimizerProperties, SaBestNeverWorseThanStart) {
+  const auto sys = make_system(GetParam());
+  const MoveContext ctx(sys.app, sys.platform, McsOptions{});
+  const Candidate start = Candidate::initial(sys.app, sys.platform);
+  const Evaluation start_eval = ctx.evaluate(start);
+  SaOptions options;
+  options.max_evaluations = 40;
+  options.seed = GetParam();
+  const auto result = simulated_annealing(ctx, start, options);
+  EXPECT_LE(result.best_cost, sa_cost(options.objective, start_eval));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerProperties,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace mcs::core

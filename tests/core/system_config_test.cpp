@@ -1,0 +1,66 @@
+#include "mcs/core/system_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mcs/gen/paper_example.hpp"
+
+namespace mcs::core {
+namespace {
+
+TEST(SystemConfig, DefaultsAreUniquePriorities) {
+  const auto ex = gen::make_paper_example();
+  SystemConfig cfg(ex.app, default_tdma_round(ex.app, ex.platform));
+  std::set<Priority> prio;
+  for (std::size_t i = 0; i < ex.app.num_messages(); ++i) {
+    prio.insert(cfg.message_priority(
+        util::MessageId(static_cast<util::MessageId::underlying_type>(i))));
+  }
+  EXPECT_EQ(prio.size(), ex.app.num_messages());
+}
+
+TEST(SystemConfig, PrioritySwaps) {
+  const auto ex = gen::make_paper_example();
+  SystemConfig cfg(ex.app, default_tdma_round(ex.app, ex.platform));
+  const auto before_m1 = cfg.message_priority(ex.m1);
+  const auto before_m3 = cfg.message_priority(ex.m3);
+  cfg.swap_message_priorities(ex.m1, ex.m3);
+  EXPECT_EQ(cfg.message_priority(ex.m1), before_m3);
+  EXPECT_EQ(cfg.message_priority(ex.m3), before_m1);
+
+  cfg.swap_process_priorities(ex.p2, ex.p3);
+  EXPECT_TRUE(cfg.higher_priority_process(ex.p3, ex.p2) ||
+              cfg.higher_priority_process(ex.p2, ex.p3));
+}
+
+TEST(SystemConfig, OffsetsRoundTrip) {
+  const auto ex = gen::make_paper_example();
+  SystemConfig cfg(ex.app, default_tdma_round(ex.app, ex.platform));
+  cfg.set_process_offset(ex.p2, 80);
+  cfg.set_message_offset(ex.m1, 80);
+  EXPECT_EQ(cfg.process_offset(ex.p2), 80);
+  EXPECT_EQ(cfg.message_offset(ex.m1), 80);
+}
+
+TEST(DefaultTdmaRound, AscendingOrderMinimalSlots) {
+  const auto ex = gen::make_paper_example();
+  const auto round = default_tdma_round(ex.app, ex.platform);
+  // TTC slot owners in id order: N1, NG.
+  ASSERT_EQ(round.num_slots(), 2u);
+  EXPECT_EQ(round.slot(0).owner, ex.n1);
+  EXPECT_EQ(round.slot(1).owner, ex.ng);
+  // N1's largest outgoing message is 8 bytes; gateway carries m3 (8 bytes).
+  EXPECT_EQ(round.slot(0).length, 8);
+  EXPECT_EQ(round.slot(1).length, 8);
+}
+
+TEST(LargestOutgoingMessage, PerNodeAndGateway) {
+  const auto ex = gen::make_paper_example();
+  EXPECT_EQ(largest_outgoing_message(ex.app, ex.platform, ex.n1, 1), 8);
+  // N2 is an ET node: it does not own TTP slots; fallback applies.
+  EXPECT_EQ(largest_outgoing_message(ex.app, ex.platform, ex.n2, 1), 1);
+  // Gateway: ET->TT traffic (m3, 8 bytes).
+  EXPECT_EQ(largest_outgoing_message(ex.app, ex.platform, ex.ng, 1), 8);
+}
+
+}  // namespace
+}  // namespace mcs::core

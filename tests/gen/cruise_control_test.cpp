@@ -1,0 +1,75 @@
+#include "mcs/gen/cruise_control.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mcs/core/analysis_types.hpp"
+#include "mcs/model/process_graph.hpp"
+#include "mcs/model/validation.hpp"
+
+namespace mcs::gen {
+namespace {
+
+TEST(CruiseController, PaperShape) {
+  const auto cc = make_cruise_controller();
+  // 40 processes, 2 TTC + 2 ETC nodes + gateway, deadline 250 ms.
+  EXPECT_EQ(cc.app.num_processes(), 40u);
+  EXPECT_EQ(cc.platform.num_nodes(), 5u);
+  EXPECT_EQ(cc.app.graph(cc.graph).deadline, 250);
+  EXPECT_TRUE(cc.platform.is_tt(cc.ecm));
+  EXPECT_TRUE(cc.platform.is_tt(cc.etm));
+  EXPECT_TRUE(cc.platform.is_et(cc.abs));
+  EXPECT_TRUE(cc.platform.is_et(cc.tcm));
+}
+
+TEST(CruiseController, PassesValidation) {
+  const auto cc = make_cruise_controller();
+  const auto report = model::validate(cc.app, cc.platform);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(CruiseController, SpeedupSubgraphOnEtc) {
+  const auto cc = make_cruise_controller();
+  // Every process whose name starts with "speedup" is mapped to the ETC.
+  int speedup_count = 0;
+  for (const auto& p : cc.app.processes()) {
+    if (p.name.rfind("speedup", 0) == 0) {
+      ++speedup_count;
+      EXPECT_TRUE(cc.platform.is_et(p.node)) << p.name;
+    }
+  }
+  EXPECT_GE(speedup_count, 4);
+}
+
+TEST(CruiseController, HasTrafficInBothGatewayDirections) {
+  const auto cc = make_cruise_controller();
+  std::map<core::MessageRoute, int> routes;
+  for (std::size_t mi = 0; mi < cc.app.num_messages(); ++mi) {
+    ++routes[core::classify_route(
+        cc.app, cc.platform,
+        util::MessageId(static_cast<util::MessageId::underlying_type>(mi)))];
+  }
+  EXPECT_GE(routes[core::MessageRoute::TtToEt], 2);
+  EXPECT_GE(routes[core::MessageRoute::EtToTt], 2);
+  EXPECT_GE(routes[core::MessageRoute::EtToEt], 1);
+  EXPECT_GE(routes[core::MessageRoute::TtToTt], 1);
+}
+
+TEST(CruiseController, EndToEndChainExists) {
+  // The sensing -> estimation -> control -> actuation chain must span all
+  // four nodes: speed_sensor reaches throttle_act.
+  const auto cc = make_cruise_controller();
+  util::ProcessId sensor, actuator;
+  for (std::size_t pi = 0; pi < cc.app.num_processes(); ++pi) {
+    const util::ProcessId p(static_cast<util::ProcessId::underlying_type>(pi));
+    if (cc.app.process(p).name == "speed_sensor") sensor = p;
+    if (cc.app.process(p).name == "throttle_act") actuator = p;
+  }
+  ASSERT_TRUE(sensor.valid());
+  ASSERT_TRUE(actuator.valid());
+  EXPECT_TRUE(model::reaches(cc.app, sensor, actuator));
+}
+
+}  // namespace
+}  // namespace mcs::gen

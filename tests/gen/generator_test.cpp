@@ -1,0 +1,172 @@
+#include "mcs/gen/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mcs/core/analysis_types.hpp"
+#include "mcs/model/process_graph.hpp"
+#include "mcs/model/validation.hpp"
+
+namespace mcs::gen {
+namespace {
+
+GeneratorParams small_params() {
+  GeneratorParams p;
+  p.tt_nodes = 2;
+  p.et_nodes = 2;
+  p.processes_per_node = 10;
+  p.processes_per_graph = 10;
+  p.seed = 42;
+  return p;
+}
+
+TEST(Generator, ShapeMatchesParameters) {
+  const auto sys = generate(small_params());
+  EXPECT_EQ(sys.app.num_processes(), 40u);
+  EXPECT_EQ(sys.app.num_graphs(), 4u);
+  // 2 TT + 2 ET + gateway.
+  EXPECT_EQ(sys.platform.num_nodes(), 5u);
+  EXPECT_TRUE(sys.platform.has_gateway());
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  const auto a = generate(small_params());
+  const auto b = generate(small_params());
+  ASSERT_EQ(a.app.num_messages(), b.app.num_messages());
+  for (std::size_t i = 0; i < a.app.num_messages(); ++i) {
+    EXPECT_EQ(a.app.messages()[i].size_bytes, b.app.messages()[i].size_bytes);
+    EXPECT_EQ(a.app.messages()[i].src, b.app.messages()[i].src);
+  }
+  for (std::size_t i = 0; i < a.app.num_processes(); ++i) {
+    EXPECT_EQ(a.app.processes()[i].wcet, b.app.processes()[i].wcet);
+    EXPECT_EQ(a.app.processes()[i].node, b.app.processes()[i].node);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  auto p = small_params();
+  const auto a = generate(p);
+  p.seed = 43;
+  const auto b = generate(p);
+  bool any_difference = a.app.num_messages() != b.app.num_messages();
+  for (std::size_t i = 0; !any_difference && i < a.app.num_processes(); ++i) {
+    any_difference = a.app.processes()[i].wcet != b.app.processes()[i].wcet;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Generator, PassesValidation) {
+  for (std::uint64_t seed : {1u, 7u, 99u}) {
+    auto p = small_params();
+    p.seed = seed;
+    const auto sys = generate(p);
+    const auto report = model::validate(sys.app, sys.platform);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+  }
+}
+
+TEST(Generator, ScatterMappingIsExactlyBalanced) {
+  auto p = small_params();
+  p.locality_mapping = false;
+  const auto sys = generate(p);
+  std::map<util::NodeId, int> load;
+  for (const auto& proc : sys.app.processes()) ++load[proc.node];
+  for (const auto& [node, count] : load) {
+    EXPECT_EQ(count, 10) << "node " << node.value();
+  }
+  // No processes on the gateway.
+  EXPECT_EQ(load.count(sys.platform.gateway()), 0u);
+}
+
+TEST(Generator, LocalityMappingBalancedAndBidirectional) {
+  auto p = small_params();
+  const auto sys = generate(p);
+  std::map<util::NodeId, int> load;
+  for (const auto& proc : sys.app.processes()) ++load[proc.node];
+  EXPECT_EQ(load.count(sys.platform.gateway()), 0u);
+  for (const auto& [node, count] : load) {
+    EXPECT_GE(count, 5) << "node " << node.value();   // roughly balanced
+    EXPECT_LE(count, 20) << "node " << node.value();
+  }
+  // Both gateway directions carry traffic (graphs alternate orientation).
+  std::size_t tt_to_et = 0, et_to_tt = 0;
+  for (std::size_t mi = 0; mi < sys.app.num_messages(); ++mi) {
+    const auto route = core::classify_route(
+        sys.app, sys.platform,
+        util::MessageId(static_cast<util::MessageId::underlying_type>(mi)));
+    if (route == core::MessageRoute::TtToEt) ++tt_to_et;
+    if (route == core::MessageRoute::EtToTt) ++et_to_tt;
+  }
+  EXPECT_GT(tt_to_et, 0u);
+  EXPECT_GT(et_to_tt, 0u);
+}
+
+TEST(Generator, WcetsWithinBounds) {
+  auto p = small_params();
+  p.wcet_distribution = WcetDistribution::Uniform;
+  const auto sys = generate(p);
+  for (const auto& proc : sys.app.processes()) {
+    EXPECT_GE(proc.wcet, p.wcet_min);
+    EXPECT_LE(proc.wcet, p.wcet_max);
+  }
+}
+
+TEST(Generator, ExponentialWcetsClamped) {
+  auto p = small_params();
+  p.wcet_distribution = WcetDistribution::Exponential;
+  const auto sys = generate(p);
+  for (const auto& proc : sys.app.processes()) {
+    EXPECT_GE(proc.wcet, p.wcet_min);
+    EXPECT_LE(proc.wcet, 4 * p.wcet_mean);
+  }
+}
+
+TEST(Generator, MessageSizesWithinPaperRange) {
+  const auto sys = generate(small_params());
+  ASSERT_GT(sys.app.num_messages(), 0u);
+  for (const auto& msg : sys.app.messages()) {
+    EXPECT_GE(msg.size_bytes, 8);
+    EXPECT_LE(msg.size_bytes, 32);
+  }
+}
+
+TEST(Generator, GraphsAreAcyclic) {
+  const auto sys = generate(small_params());
+  for (std::size_t gi = 0; gi < sys.app.num_graphs(); ++gi) {
+    EXPECT_NO_THROW((void)model::topological_order(
+        sys.app, util::GraphId(static_cast<util::GraphId::underlying_type>(gi))));
+  }
+}
+
+TEST(Generator, InterClusterTargetApproached) {
+  for (const std::size_t target : {10u, 20u, 30u}) {
+    auto p = small_params();
+    p.tt_nodes = 2;
+    p.et_nodes = 2;
+    p.processes_per_node = 40;  // 160 processes as in Figure 9c
+    p.target_inter_cluster_messages = target;
+    p.seed = 1234 + target;
+    const auto sys = generate(p);
+    const auto achieved = sys.inter_cluster_messages;
+    // The greedy flip adjustment should land close to the target.
+    EXPECT_NEAR(static_cast<double>(achieved), static_cast<double>(target),
+                static_cast<double>(target) * 0.3 + 3.0);
+  }
+}
+
+TEST(Generator, InvalidParamsThrow) {
+  auto p = small_params();
+  p.tt_nodes = 0;
+  EXPECT_THROW((void)generate(p), std::invalid_argument);
+  p = small_params();
+  p.wcet_min = 0;
+  EXPECT_THROW((void)generate(p), std::invalid_argument);
+  p = small_params();
+  p.msg_min_bytes = 10;
+  p.msg_max_bytes = 5;
+  EXPECT_THROW((void)generate(p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcs::gen

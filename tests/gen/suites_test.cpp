@@ -1,0 +1,65 @@
+#include "mcs/gen/suites.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mcs::gen {
+namespace {
+
+TEST(Suites, Figure9abGridShape) {
+  const auto suite = figure9ab_suite(3);
+  EXPECT_EQ(suite.size(), 5u * 3u);
+  std::set<std::size_t> dims;
+  for (const auto& point : suite) dims.insert(point.dimension);
+  EXPECT_EQ(dims, (std::set<std::size_t>{80, 160, 240, 320, 400}));
+  for (const auto& point : suite) {
+    EXPECT_EQ(point.params.processes_per_node, 40u);
+    EXPECT_EQ(point.params.tt_nodes, point.params.et_nodes);
+  }
+}
+
+TEST(Suites, Figure9abAlternatesDistributions) {
+  const auto suite = figure9ab_suite(4);
+  bool saw_uniform = false, saw_exponential = false;
+  for (const auto& point : suite) {
+    if (point.params.wcet_distribution == WcetDistribution::Uniform) {
+      saw_uniform = true;
+    } else {
+      saw_exponential = true;
+    }
+  }
+  EXPECT_TRUE(saw_uniform);
+  EXPECT_TRUE(saw_exponential);
+}
+
+TEST(Suites, Figure9cGridShape) {
+  const auto suite = figure9c_suite(2);
+  EXPECT_EQ(suite.size(), 5u * 2u);
+  std::set<std::size_t> dims;
+  for (const auto& point : suite) {
+    dims.insert(point.dimension);
+    EXPECT_EQ(point.params.target_inter_cluster_messages, point.dimension);
+    EXPECT_EQ(point.params.tt_nodes + point.params.et_nodes, 4u);
+  }
+  EXPECT_EQ(dims, (std::set<std::size_t>{10, 20, 30, 40, 50}));
+}
+
+TEST(Suites, SeedsAreUniqueAcrossPoints) {
+  const auto ab = figure9ab_suite(3);
+  const auto c = figure9c_suite(3);
+  std::set<std::uint64_t> seeds;
+  for (const auto& p : ab) seeds.insert(p.params.seed);
+  for (const auto& p : c) seeds.insert(p.params.seed);
+  EXPECT_EQ(seeds.size(), ab.size() + c.size());
+}
+
+TEST(Suites, PointsGenerate) {
+  // Smoke: one point from each suite actually generates.
+  const auto ab = figure9ab_suite(1);
+  const auto sys = generate(ab.front().params);
+  EXPECT_EQ(sys.app.num_processes(), ab.front().dimension);
+}
+
+}  // namespace
+}  // namespace mcs::gen

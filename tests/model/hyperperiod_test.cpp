@@ -1,0 +1,90 @@
+#include "mcs/model/hyperperiod.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace mcs::model {
+namespace {
+
+using util::NodeId;
+
+TEST(Hypergraph, ReplicatesByPeriodRatio) {
+  Application src;
+  const auto fast = src.add_graph("fast", 40, 40);
+  const auto slow = src.add_graph("slow", 120, 100);
+  const auto fp = src.add_process(fast, "F", NodeId(0), 5);
+  const auto sp1 = src.add_process(slow, "S1", NodeId(0), 10);
+  const auto sp2 = src.add_process(slow, "S2", NodeId(1), 10);
+  (void)src.add_message(sp1, sp2, 8);
+  (void)fp;
+
+  const std::array<GraphId, 2> ids{fast, slow};
+  const Hypergraph h = merge_into_hypergraph(src, ids);
+
+  // LCM(40, 120) = 120: fast x3 + slow x1 instances.
+  EXPECT_EQ(h.app.graph(h.graph).period, 120);
+  EXPECT_EQ(h.instances.size(), 4u);
+  EXPECT_EQ(h.app.num_processes(), 3u * 1u + 1u * 2u);
+  EXPECT_EQ(h.app.num_messages(), 1u);
+}
+
+TEST(Hypergraph, ReleaseOffsetsAndDeadlines) {
+  Application src;
+  const auto fast = src.add_graph("fast", 50, 30);
+  (void)src.add_process(fast, "F", NodeId(0), 5);
+  const std::array<GraphId, 1> ids{fast};
+  const Hypergraph h = merge_into_hypergraph(src, ids);  // LCM = 50 -> 1 copy?
+
+  ASSERT_EQ(h.instances.size(), 1u);
+  EXPECT_EQ(h.instances[0].release_offset, 0);
+  EXPECT_EQ(h.app.process(h.instances[0].process_map[0]).local_deadline, 30);
+}
+
+TEST(Hypergraph, MultipleInstancesGetStaggeredDeadlines) {
+  Application src;
+  const auto a = src.add_graph("a", 30, 25);
+  const auto b = src.add_graph("b", 90, 80);
+  (void)src.add_process(a, "A", NodeId(0), 2);
+  (void)src.add_process(b, "B", NodeId(0), 2);
+  const std::array<GraphId, 2> ids{a, b};
+  const Hypergraph h = merge_into_hypergraph(src, ids);
+
+  // a is replicated 3x with releases 0, 30, 60 and deadlines 25, 55, 85.
+  ASSERT_EQ(h.instances.size(), 4u);
+  std::vector<util::Time> releases;
+  for (const auto& inst : h.instances) {
+    if (inst.source_graph == a) releases.push_back(inst.release_offset);
+  }
+  EXPECT_EQ(releases, (std::vector<util::Time>{0, 30, 60}));
+  for (const auto& inst : h.instances) {
+    if (inst.source_graph != a) continue;
+    const auto p = inst.process_map[0];
+    EXPECT_EQ(h.app.process(p).local_deadline, inst.release_offset + 25);
+    EXPECT_EQ(h.release_offsets[p.index()], inst.release_offset);
+  }
+}
+
+TEST(Hypergraph, PreservesStructurePerInstance) {
+  Application src;
+  const auto g = src.add_graph("g", 60, 60);
+  const auto p1 = src.add_process(g, "P1", NodeId(0), 2);
+  const auto p2 = src.add_process(g, "P2", NodeId(1), 2);
+  (void)src.add_message(p1, p2, 16);
+  const std::array<GraphId, 1> ids{g};
+  const Hypergraph h = merge_into_hypergraph(src, ids);
+
+  ASSERT_EQ(h.app.num_messages(), 1u);
+  const auto& m = h.app.messages()[0];
+  EXPECT_EQ(m.size_bytes, 16);
+  EXPECT_EQ(h.app.process(m.src).name, "P1#0");
+  EXPECT_EQ(h.app.process(m.dst).name, "P2#0");
+}
+
+TEST(Hypergraph, EmptySelectionThrows) {
+  Application src;
+  EXPECT_THROW((void)merge_into_hypergraph(src, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcs::model

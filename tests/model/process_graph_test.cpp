@@ -1,0 +1,113 @@
+#include "mcs/model/process_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mcs::model {
+namespace {
+
+using util::NodeId;
+
+/// Diamond: A -> B, A -> C, B -> D, C -> D.
+struct Diamond {
+  Application app;
+  GraphId g;
+  ProcessId a, b, c, d;
+
+  Diamond() {
+    g = app.add_graph("G", 100, 100);
+    a = app.add_process(g, "A", NodeId(0), 5);
+    b = app.add_process(g, "B", NodeId(0), 10);
+    c = app.add_process(g, "C", NodeId(0), 20);
+    d = app.add_process(g, "D", NodeId(0), 5);
+    app.add_dependency(a, b);
+    app.add_dependency(a, c);
+    app.add_dependency(b, d);
+    app.add_dependency(c, d);
+  }
+};
+
+TEST(ProcessGraph, TopologicalOrderRespectsArcs) {
+  Diamond f;
+  const auto order = topological_order(f.app, f.g);
+  ASSERT_EQ(order.size(), 4u);
+  auto pos = [&](ProcessId p) {
+    return std::find(order.begin(), order.end(), p) - order.begin();
+  };
+  EXPECT_LT(pos(f.a), pos(f.b));
+  EXPECT_LT(pos(f.a), pos(f.c));
+  EXPECT_LT(pos(f.b), pos(f.d));
+  EXPECT_LT(pos(f.c), pos(f.d));
+}
+
+TEST(ProcessGraph, CycleDetected) {
+  Application app;
+  const auto g = app.add_graph("G", 10, 10);
+  const auto a = app.add_process(g, "A", NodeId(0), 1);
+  const auto b = app.add_process(g, "B", NodeId(0), 1);
+  app.add_dependency(a, b);
+  app.add_dependency(b, a);
+  EXPECT_THROW((void)topological_order(app, g), std::invalid_argument);
+}
+
+TEST(ProcessGraph, SourcesAndSinks) {
+  Diamond f;
+  EXPECT_EQ(sources(f.app, f.g), std::vector<ProcessId>{f.a});
+  EXPECT_EQ(sinks(f.app, f.g), std::vector<ProcessId>{f.d});
+}
+
+TEST(ProcessGraph, LongestPaths) {
+  Diamond f;
+  const auto to = longest_path_to(f.app, f.g);    // indexed per graph order
+  const auto from = longest_path_from(f.app, f.g);
+  const auto& procs = f.app.graph(f.g).processes;
+  auto at = [&](const std::vector<util::Time>& v, ProcessId p) {
+    const auto it = std::find(procs.begin(), procs.end(), p);
+    return v[static_cast<std::size_t>(it - procs.begin())];
+  };
+  EXPECT_EQ(at(to, f.a), 5);
+  EXPECT_EQ(at(to, f.b), 15);
+  EXPECT_EQ(at(to, f.c), 25);
+  EXPECT_EQ(at(to, f.d), 30);  // A -> C -> D
+  EXPECT_EQ(at(from, f.a), 30);
+  EXPECT_EQ(at(from, f.b), 15);
+  EXPECT_EQ(at(from, f.c), 25);
+  EXPECT_EQ(at(from, f.d), 5);
+}
+
+TEST(ProcessGraph, Reaches) {
+  Diamond f;
+  EXPECT_TRUE(reaches(f.app, f.a, f.d));
+  EXPECT_TRUE(reaches(f.app, f.a, f.a));
+  EXPECT_FALSE(reaches(f.app, f.b, f.c));
+  EXPECT_FALSE(reaches(f.app, f.d, f.a));
+}
+
+TEST(ReachabilityIndex, MatchesDirectSearch) {
+  Diamond f;
+  const ReachabilityIndex idx(f.app);
+  for (const ProcessId x : {f.a, f.b, f.c, f.d}) {
+    for (const ProcessId y : {f.a, f.b, f.c, f.d}) {
+      EXPECT_EQ(idx.reaches(x, y), reaches(f.app, x, y))
+          << x.value() << " -> " << y.value();
+    }
+  }
+  EXPECT_TRUE(idx.related(f.a, f.d));
+  EXPECT_FALSE(idx.related(f.b, f.c));
+}
+
+TEST(ReachabilityIndex, SeparateGraphsNeverReach) {
+  Application app;
+  const auto g1 = app.add_graph("G1", 10, 10);
+  const auto g2 = app.add_graph("G2", 10, 10);
+  const auto p = app.add_process(g1, "P", NodeId(0), 1);
+  const auto q = app.add_process(g2, "Q", NodeId(0), 1);
+  const ReachabilityIndex idx(app);
+  EXPECT_FALSE(idx.reaches(p, q));
+  EXPECT_FALSE(idx.reaches(q, p));
+  EXPECT_TRUE(idx.reaches(p, p));
+}
+
+}  // namespace
+}  // namespace mcs::model

@@ -1,0 +1,92 @@
+#include "mcs/model/validation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs::model {
+namespace {
+
+arch::Platform two_cluster_platform() {
+  arch::Platform p(arch::TtpBusParams{1, 0}, arch::CanBusParams::linear(10, 0));
+  (void)p.add_tt_node("N1");
+  (void)p.add_et_node("N2");
+  (void)p.add_gateway("NG");
+  return p;
+}
+
+TEST(Validation, CleanModelPasses) {
+  auto platform = two_cluster_platform();
+  Application app;
+  const auto g = app.add_graph("G", 200, 150);
+  const auto p1 = app.add_process(g, "P1", util::NodeId(0), 10);
+  const auto p2 = app.add_process(g, "P2", util::NodeId(1), 10);
+  (void)app.add_message(p1, p2, 8);
+
+  const auto report = validate(app, platform);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_NO_THROW(ensure_valid(app, platform));
+}
+
+TEST(Validation, UnmappedProcessIsError) {
+  auto platform = two_cluster_platform();
+  Application app;
+  const auto g = app.add_graph("G", 100, 100);
+  (void)app.add_process(g, "P", util::NodeId(99), 10);
+  const auto report = validate(app, platform);
+  EXPECT_FALSE(report.ok());
+  EXPECT_THROW(ensure_valid(app, platform), std::invalid_argument);
+}
+
+TEST(Validation, InterClusterWithoutGatewayIsError) {
+  arch::Platform platform(arch::TtpBusParams{1, 0},
+                          arch::CanBusParams::linear(10, 0));
+  (void)platform.add_tt_node("N1");
+  (void)platform.add_et_node("N2");
+  Application app;
+  const auto g = app.add_graph("G", 100, 100);
+  const auto p1 = app.add_process(g, "P1", util::NodeId(0), 10);
+  const auto p2 = app.add_process(g, "P2", util::NodeId(1), 10);
+  (void)app.add_message(p1, p2, 8);
+  const auto report = validate(app, platform);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("gateway"), std::string::npos);
+}
+
+TEST(Validation, CriticalPathBeyondDeadlineIsWarning) {
+  auto platform = two_cluster_platform();
+  Application app;
+  const auto g = app.add_graph("G", 100, 30);
+  const auto p1 = app.add_process(g, "P1", util::NodeId(0), 20);
+  const auto p2 = app.add_process(g, "P2", util::NodeId(0), 20);
+  app.add_dependency(p1, p2);
+  const auto report = validate(app, platform);
+  EXPECT_TRUE(report.ok());  // warnings only
+  EXPECT_FALSE(report.issues.empty());
+  EXPECT_NE(report.to_string().find("critical path"), std::string::npos);
+}
+
+TEST(Validation, OverUtilizedNodeIsError) {
+  auto platform = two_cluster_platform();
+  Application app;
+  const auto g = app.add_graph("G", 100, 100);
+  (void)app.add_process(g, "P1", util::NodeId(1), 60);
+  (void)app.add_process(g, "P2", util::NodeId(1), 60);
+  const auto report = validate(app, platform);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("over-utilized"), std::string::npos);
+}
+
+TEST(Validation, CycleIsError) {
+  auto platform = two_cluster_platform();
+  Application app;
+  const auto g = app.add_graph("G", 100, 100);
+  const auto p1 = app.add_process(g, "P1", util::NodeId(0), 1);
+  const auto p2 = app.add_process(g, "P2", util::NodeId(0), 1);
+  app.add_dependency(p1, p2);
+  app.add_dependency(p2, p1);
+  const auto report = validate(app, platform);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("cycle"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcs::model

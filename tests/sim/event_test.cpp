@@ -1,0 +1,68 @@
+#include "mcs/sim/event.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  q.run(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, SameTimeFiresInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  q.run(100);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ActionsMayScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1, [&] {
+    ++fired;
+    q.schedule(2, [&] {
+      ++fired;
+      q.schedule(3, [&] { ++fired; });
+    });
+  });
+  q.run(100);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(q.now(), 3);
+}
+
+TEST(EventQueue, SchedulingInThePastThrows) {
+  EventQueue q;
+  q.schedule(10, [] {});
+  (void)q.run_next();
+  EXPECT_THROW(q.schedule(5, [] {}), std::invalid_argument);
+  // Scheduling at the current instant is allowed.
+  EXPECT_NO_THROW(q.schedule(10, [] {}));
+}
+
+TEST(EventQueue, RunRespectsBudget) {
+  EventQueue q;
+  for (int i = 0; i < 10; ++i) q.schedule(i, [] {});
+  EXPECT_EQ(q.run(4), 4);
+  EXPECT_EQ(q.pending(), 6u);
+}
+
+TEST(EventQueue, NextTime) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), util::kTimeInfinity);
+  q.schedule(42, [] {});
+  EXPECT_EQ(q.next_time(), 42);
+}
+
+}  // namespace
+}  // namespace mcs::sim

@@ -1,0 +1,134 @@
+// Simulation of the paper's Figure 4 example: the deterministic run has
+// exactly computable instants, asserted below; the analysis bounds must
+// dominate all of them.
+#include "mcs/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mcs/core/multi_cluster_scheduling.hpp"
+#include "mcs/gen/paper_example.hpp"
+
+namespace mcs::sim {
+namespace {
+
+using core::McsOptions;
+using core::McsResult;
+using gen::Figure4Variant;
+using gen::PaperExample;
+
+struct Prepared {
+  PaperExample ex;
+  core::SystemConfig cfg;
+  McsResult mcs;
+};
+
+Prepared prepare(Figure4Variant variant) {
+  PaperExample ex = gen::make_paper_example();
+  core::SystemConfig cfg = gen::make_figure4_config(ex, variant);
+  McsResult mcs =
+      core::multi_cluster_scheduling(ex.app, ex.platform, cfg, McsOptions{});
+  return Prepared{std::move(ex), std::move(cfg), std::move(mcs)};
+}
+
+TEST(Simulator, Figure4aConcreteTimeline) {
+  auto prep = prepare(Figure4Variant::A);
+  SimOptions options;
+  options.record_trace = true;
+  const SimResult sim = simulate(prep.ex.app, prep.ex.platform, prep.cfg,
+                                 prep.mcs.schedule, options);
+
+  ASSERT_TRUE(sim.completed);
+  EXPECT_TRUE(sim.violations.empty())
+      << (sim.violations.empty() ? "" : sim.violations.front());
+
+  // P1 runs [0, 30]; frame in S1 of round 2; T at 85; m1 CAN [85, 95].
+  EXPECT_EQ(sim.process_start[prep.ex.p1.index()], 0);
+  EXPECT_EQ(sim.process_completion[prep.ex.p1.index()], 30);
+  EXPECT_EQ(sim.message_delivery[prep.ex.m1.index()], 95);
+  EXPECT_EQ(sim.message_delivery[prep.ex.m2.index()], 105);
+
+  // P2 starts at 95, is preempted by P3 (higher priority) at 105,
+  // P3 runs [105, 125], P2 finishes at 135.
+  EXPECT_EQ(sim.process_start[prep.ex.p2.index()], 95);
+  EXPECT_EQ(sim.process_start[prep.ex.p3.index()], 105);
+  EXPECT_EQ(sim.process_completion[prep.ex.p3.index()], 125);
+  EXPECT_EQ(sim.process_completion[prep.ex.p2.index()], 135);
+
+  // m3 on CAN [135, 145], OutTTP at 145, S_G [160, 180], P4 [180, 210].
+  EXPECT_EQ(sim.message_delivery[prep.ex.m3.index()], 180);
+  EXPECT_EQ(sim.process_start[prep.ex.p4.index()], 180);
+  EXPECT_EQ(sim.graph_response[prep.ex.g1.index()], 210);
+
+  // The trace saw a preemption.
+  bool preempted = false;
+  for (const auto& r : sim.trace.records()) {
+    if (r.kind == TraceKind::ProcessPreempt) preempted = true;
+  }
+  EXPECT_TRUE(preempted);
+}
+
+TEST(Simulator, Figure4bConcreteTimeline) {
+  auto prep = prepare(Figure4Variant::B);
+  const SimResult sim =
+      simulate(prep.ex.app, prep.ex.platform, prep.cfg, prep.mcs.schedule);
+  ASSERT_TRUE(sim.completed);
+  // Everything shifts 20 ms earlier: delivery at 60, m3 catches S_G [140,160).
+  EXPECT_EQ(sim.message_delivery[prep.ex.m1.index()], 75);
+  EXPECT_EQ(sim.process_completion[prep.ex.p2.index()], 115);
+  EXPECT_EQ(sim.message_delivery[prep.ex.m3.index()], 160);
+  EXPECT_EQ(sim.graph_response[prep.ex.g1.index()], 190);
+}
+
+TEST(Simulator, AnalysisBoundsDominateSimulation) {
+  for (const auto variant :
+       {Figure4Variant::A, Figure4Variant::B, Figure4Variant::C,
+        Figure4Variant::CSlotFirst}) {
+    auto prep = prepare(variant);
+    const SimResult sim =
+        simulate(prep.ex.app, prep.ex.platform, prep.cfg, prep.mcs.schedule);
+    ASSERT_TRUE(sim.completed);
+    const auto& a = prep.mcs.analysis;
+    for (std::size_t pi = 0; pi < prep.ex.app.num_processes(); ++pi) {
+      EXPECT_LE(sim.process_completion[pi],
+                a.process_offsets[pi] + a.process_response[pi])
+          << "process " << pi;
+    }
+    for (std::size_t mi = 0; mi < prep.ex.app.num_messages(); ++mi) {
+      EXPECT_LE(sim.message_delivery[mi], a.message_delivery[mi])
+          << "message " << mi;
+    }
+    for (std::size_t gi = 0; gi < prep.ex.app.num_graphs(); ++gi) {
+      EXPECT_LE(sim.graph_response[gi], a.graph_response[gi]);
+    }
+    EXPECT_LE(sim.max_out_can, a.buffers.out_can);
+    EXPECT_LE(sim.max_out_ttp, a.buffers.out_ttp);
+    for (const auto& [node, bytes] : sim.max_out_node) {
+      EXPECT_LE(bytes, a.buffers.out_node.at(node));
+    }
+  }
+}
+
+TEST(Simulator, TraceIsHumanReadable) {
+  auto prep = prepare(Figure4Variant::A);
+  SimOptions options;
+  options.record_trace = true;
+  const SimResult sim = simulate(prep.ex.app, prep.ex.platform, prep.cfg,
+                                 prep.mcs.schedule, options);
+  const std::string text = sim.trace.to_string();
+  EXPECT_NE(text.find("P1"), std::string::npos);
+  EXPECT_NE(text.find("m3"), std::string::npos);
+  EXPECT_NE(text.find("deliver"), std::string::npos);
+}
+
+TEST(Simulator, HorizonCutsOffLateActivities) {
+  auto prep = prepare(Figure4Variant::A);
+  SimOptions options;
+  options.horizon = 100;  // P4 never runs (starts at 180)
+  const SimResult sim = simulate(prep.ex.app, prep.ex.platform, prep.cfg,
+                                 prep.mcs.schedule, options);
+  EXPECT_FALSE(sim.completed);
+  EXPECT_EQ(sim.process_completion[prep.ex.p4.index()], -1);
+}
+
+}  // namespace
+}  // namespace mcs::sim

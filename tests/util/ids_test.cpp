@@ -1,0 +1,51 @@
+#include "mcs/util/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace mcs::util {
+namespace {
+
+TEST(Ids, DefaultIsInvalid) {
+  ProcessId p;
+  EXPECT_FALSE(p.valid());
+  EXPECT_EQ(p, ProcessId::invalid());
+}
+
+TEST(Ids, ValueRoundTrip) {
+  ProcessId p(42);
+  EXPECT_TRUE(p.valid());
+  EXPECT_EQ(p.value(), 42u);
+  EXPECT_EQ(p.index(), 42u);
+}
+
+TEST(Ids, Ordering) {
+  EXPECT_LT(ProcessId(1), ProcessId(2));
+  EXPECT_EQ(ProcessId(7), ProcessId(7));
+  EXPECT_NE(ProcessId(7), ProcessId(8));
+}
+
+TEST(Ids, DistinctTagTypesDoNotMix) {
+  // Compile-time property: ProcessId and NodeId are different types.
+  static_assert(!std::is_same_v<ProcessId, NodeId>);
+  static_assert(!std::is_convertible_v<ProcessId, NodeId>);
+}
+
+TEST(Ids, Hashable) {
+  std::unordered_set<ProcessId> set;
+  set.insert(ProcessId(1));
+  set.insert(ProcessId(2));
+  set.insert(ProcessId(1));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Ids, Streaming) {
+  std::ostringstream os;
+  os << ProcessId(5) << " " << ProcessId();
+  EXPECT_EQ(os.str(), "5 <invalid>");
+}
+
+}  // namespace
+}  // namespace mcs::util

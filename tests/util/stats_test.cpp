@@ -1,0 +1,72 @@
+#include "mcs/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace mcs::util {
+namespace {
+
+TEST(Accumulator, Empty) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, MeanAndVariance) {
+  Accumulator a;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator a;
+  a.add(3.5);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 3.5);
+  EXPECT_DOUBLE_EQ(a.max(), 3.5);
+}
+
+TEST(Percentile, Basics) {
+  const std::array<double, 5> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::array<double, 2> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 90), 9.0);
+}
+
+TEST(Percentile, Errors) {
+  const std::array<double, 1> v{1.0};
+  EXPECT_THROW((void)percentile(std::span<const double>{}, 50), std::invalid_argument);
+  EXPECT_THROW((void)percentile(v, -1), std::invalid_argument);
+  EXPECT_THROW((void)percentile(v, 101), std::invalid_argument);
+}
+
+TEST(PercentageDeviation, Basics) {
+  EXPECT_DOUBLE_EQ(percentage_deviation(110, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percentage_deviation(90, 100), -10.0);
+  EXPECT_DOUBLE_EQ(percentage_deviation(100, 100), 0.0);
+  EXPECT_DOUBLE_EQ(percentage_deviation(-110, -100), -10.0);
+}
+
+TEST(PercentageDeviation, ZeroReference) {
+  EXPECT_DOUBLE_EQ(percentage_deviation(0, 0), 0.0);
+  EXPECT_GT(percentage_deviation(5, 0), 1e8);
+}
+
+}  // namespace
+}  // namespace mcs::util

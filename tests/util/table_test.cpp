@@ -1,0 +1,47 @@
+#include "mcs/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, NumericFormatting) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(3.0, 0), "3");
+  EXPECT_EQ(Table::fmt(static_cast<std::int64_t>(-42)), "-42");
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t({"x", "longer"});
+  t.add_row({"aaaaaaa", "b"});
+  const std::string s = t.to_string();
+  // Every rendered line between separators has the same length.
+  std::size_t expected = 0;
+  for (std::size_t pos = 0; pos < s.size();) {
+    const std::size_t end = s.find('\n', pos);
+    const std::size_t len = end - pos;
+    if (expected == 0) expected = len;
+    EXPECT_EQ(len, expected);
+    pos = end + 1;
+  }
+}
+
+}  // namespace
+}  // namespace mcs::util

@@ -1,0 +1,208 @@
+// mcs_synth — command-line synthesis driver.
+//
+//   mcs_synth <system.mcs> [options]
+//
+//   --strategy sf|os|or     synthesis strategy (default: or)
+//   --conservative          disable offset/precedence pruning
+//   --paper-ttp             use the paper's closed-form OutTTP model
+//   --simulate              validate the result with the discrete-event
+//                           simulator and report observed vs bound
+//   --trace                 print the simulation trace (implies --simulate)
+//   --dump-config           print the synthesized configuration (slots,
+//                           priorities, schedule table)
+//
+// Reads a plain-text system description (see src/gen/textio.hpp for the
+// grammar and examples/example_system.mcs for a sample), synthesizes a
+// configuration and prints the schedulability verdict, per-graph response
+// times and worst-case buffer needs.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "mcs/core/optimize_resources.hpp"
+#include "mcs/core/straightforward.hpp"
+#include "mcs/gen/textio.hpp"
+#include "mcs/model/validation.hpp"
+#include "mcs/sim/simulator.hpp"
+#include "mcs/util/table.hpp"
+
+using namespace mcs;
+
+namespace {
+
+struct Options {
+  std::string path;
+  std::string strategy = "or";
+  bool conservative = false;
+  bool paper_ttp = false;
+  bool simulate = false;
+  bool trace = false;
+  bool dump_config = false;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: mcs_synth <system.mcs> [--strategy sf|os|or] "
+               "[--conservative] [--paper-ttp] [--simulate] [--trace] "
+               "[--dump-config]\n");
+}
+
+bool parse_args(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--strategy") {
+      if (++i >= argc) return false;
+      options.strategy = argv[i];
+      if (options.strategy != "sf" && options.strategy != "os" &&
+          options.strategy != "or") {
+        return false;
+      }
+    } else if (arg == "--conservative") {
+      options.conservative = true;
+    } else if (arg == "--paper-ttp") {
+      options.paper_ttp = true;
+    } else if (arg == "--simulate") {
+      options.simulate = true;
+    } else if (arg == "--trace") {
+      options.simulate = true;
+      options.trace = true;
+    } else if (arg == "--dump-config") {
+      options.dump_config = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return false;
+    } else if (options.path.empty()) {
+      options.path = arg;
+    } else {
+      return false;
+    }
+  }
+  return !options.path.empty();
+}
+
+void report(const gen::ParsedSystem& sys, const core::Candidate& candidate,
+            const core::Evaluation& eval, const Options& options) {
+  const auto& analysis = eval.mcs.analysis;
+  std::printf("verdict: %s\n", eval.schedulable ? "SCHEDULABLE" : "NOT schedulable");
+
+  util::Table graphs({"graph", "period", "deadline", "response", "slack"});
+  for (std::size_t gi = 0; gi < sys.app.num_graphs(); ++gi) {
+    const auto& graph = sys.app.graphs()[gi];
+    graphs.add_row({graph.name, util::Table::fmt(graph.period),
+                    util::Table::fmt(graph.deadline),
+                    util::Table::fmt(analysis.graph_response[gi]),
+                    util::Table::fmt(graph.deadline - analysis.graph_response[gi])});
+  }
+  graphs.print(std::cout);
+
+  std::printf("buffers: OutCAN=%lld B, OutTTP=%lld B",
+              static_cast<long long>(analysis.buffers.out_can),
+              static_cast<long long>(analysis.buffers.out_ttp));
+  for (const auto& [node, bytes] : analysis.buffers.out_node) {
+    std::printf(", Out%s=%lld B", sys.platform.node(node).name.c_str(),
+                static_cast<long long>(bytes));
+  }
+  std::printf(" -> s_total=%lld B\n",
+              static_cast<long long>(analysis.buffers.total()));
+
+  if (options.dump_config) {
+    std::printf("\nTDMA round: %s\n", candidate.tdma.to_string().c_str());
+    util::Table sched({"process", "node", "cluster", "offset", "priority",
+                       "worst completion"});
+    for (std::size_t pi = 0; pi < sys.app.num_processes(); ++pi) {
+      const auto& process = sys.app.processes()[pi];
+      const bool tt = sys.platform.is_tt(process.node);
+      sched.add_row({process.name, sys.platform.node(process.node).name,
+                     tt ? "TT" : "ET",
+                     util::Table::fmt(analysis.process_offsets[pi]),
+                     tt ? "-" : util::Table::fmt(static_cast<std::int64_t>(
+                                    candidate.process_priorities[pi])),
+                     util::Table::fmt(analysis.process_offsets[pi] +
+                                      analysis.process_response[pi])});
+    }
+    sched.print(std::cout);
+
+    util::Table msgs({"message", "route", "priority", "delivered by"});
+    for (std::size_t mi = 0; mi < sys.app.num_messages(); ++mi) {
+      const util::MessageId m(static_cast<util::MessageId::underlying_type>(mi));
+      const auto route = core::classify_route(sys.app, sys.platform, m);
+      const bool on_can = route != core::MessageRoute::Local &&
+                          route != core::MessageRoute::TtToTt;
+      msgs.add_row({sys.app.messages()[mi].name, core::to_string(route),
+                    on_can ? util::Table::fmt(static_cast<std::int64_t>(
+                                 candidate.message_priorities[mi]))
+                           : "-",
+                    util::Table::fmt(analysis.message_delivery[mi])});
+    }
+    msgs.print(std::cout);
+  }
+
+  if (options.simulate) {
+    core::SystemConfig cfg = candidate.to_config(sys.app);
+    for (std::size_t pi = 0; pi < sys.app.num_processes(); ++pi) {
+      cfg.set_process_offset(
+          util::ProcessId(static_cast<util::ProcessId::underlying_type>(pi)),
+          analysis.process_offsets[pi]);
+    }
+    sim::SimOptions sim_options;
+    sim_options.record_trace = options.trace;
+    const auto sim = sim::simulate(sys.app, sys.platform, cfg,
+                                   eval.mcs.schedule, sim_options);
+    std::printf("\nsimulation: %s, %zu violation(s)\n",
+                sim.completed ? "completed" : "did not complete",
+                sim.violations.size());
+    for (const auto& v : sim.violations) std::printf("  violation: %s\n", v.c_str());
+    util::Table check({"graph", "simulated response", "analysis bound"});
+    for (std::size_t gi = 0; gi < sys.app.num_graphs(); ++gi) {
+      check.add_row({sys.app.graphs()[gi].name,
+                     util::Table::fmt(sim.graph_response[gi]),
+                     util::Table::fmt(analysis.graph_response[gi])});
+    }
+    check.print(std::cout);
+    if (options.trace) std::printf("\n%s", sim.trace.to_string().c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse_args(argc, argv, options)) {
+    usage();
+    return 2;
+  }
+  try {
+    const gen::ParsedSystem sys = gen::parse_system_file(options.path);
+    const auto validation = model::validate(sys.app, sys.platform);
+    if (!validation.ok()) {
+      std::fprintf(stderr, "invalid system:\n%s", validation.to_string().c_str());
+      return 1;
+    }
+    if (!validation.issues.empty()) {
+      std::fprintf(stderr, "%s", validation.to_string().c_str());
+    }
+
+    core::McsOptions mcs_options;
+    mcs_options.analysis.offset_pruning = !options.conservative;
+    mcs_options.analysis.ttp_queue_model = options.paper_ttp
+                                               ? core::TtpQueueModel::PaperFormula
+                                               : core::TtpQueueModel::Exact;
+    const core::MoveContext ctx(sys.app, sys.platform, mcs_options);
+
+    if (options.strategy == "sf") {
+      const auto sf = core::straightforward(ctx);
+      report(sys, sf.candidate, sf.evaluation, options);
+      return sf.evaluation.schedulable ? 0 : 1;
+    }
+    if (options.strategy == "os") {
+      const auto os = core::optimize_schedule(ctx);
+      report(sys, os.best, os.best_eval, options);
+      return os.best_eval.schedulable ? 0 : 1;
+    }
+    const auto orr = core::optimize_resources(ctx);
+    report(sys, orr.best, orr.best_eval, options);
+    return orr.best_eval.schedulable ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
