@@ -1,0 +1,236 @@
+// Candidate-evaluation throughput: the number the whole synthesis flow is
+// bounded by (HOPA, OS, OR and SAS/SAR all sit in a loop around
+// MoveContext::evaluate).  Replays one identical visit sequence — a random
+// walk over a bounded candidate set, with revisits like SA reheats and
+// hill-climbing re-expansions — through three code paths:
+//
+//   baseline        — the pre-workspace path: every evaluation rebuilds the
+//                     analysis setup (routes, topological orders, pools,
+//                     state vectors) around a prebuilt reachability index;
+//   workspace       — MoveContext::evaluate_uncached: all candidate-
+//                     invariant structure hoisted into the shared
+//                     AnalysisWorkspace, buffers reset in place;
+//   workspace+cache — MoveContext::evaluate: the memoized hot path.
+//
+// Emits BENCH_eval_throughput.json (consumed by CI as a perf artifact) and
+// fails loudly if the three paths disagree on any evaluation, making the
+// bench double as an end-to-end consistency check.
+//
+//   MCS_BENCH_EVAL_VISITS=N   length of the visit sequence  (default 512)
+//   MCS_BENCH_FULL=1          adds a paper-scale instance (6 nodes x 40)
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "mcs/gen/generator.hpp"
+#include "mcs/gen/paper_example.hpp"
+#include "mcs/util/rng.hpp"
+
+namespace {
+
+using namespace mcs;
+
+struct ModeResult {
+  double seconds = 0.0;
+  double evals_per_sec = 0.0;
+  std::int64_t checksum = 0;
+};
+
+struct Instance {
+  std::string name;
+  model::Application app;
+  arch::Platform platform;
+};
+
+std::int64_t eval_checksum(const core::Evaluation& eval) {
+  return eval.delta.f1 * 1000003 + eval.delta.f2 * 9176 + eval.s_total +
+         (eval.schedulable ? 1 : 0);
+}
+
+/// The identical candidate visit sequence replayed by every mode.
+std::vector<core::Candidate> make_visits(const core::MoveContext& ctx,
+                                         std::size_t num_visits) {
+  const std::size_t distinct = std::max<std::size_t>(4, num_visits / 8);
+  util::Rng rng(20030);
+
+  // Random walk: each step applies one move to the previous candidate, so
+  // the set resembles an SA trajectory's neighborhood.
+  std::vector<core::Candidate> pool;
+  core::Candidate current = core::Candidate::initial(ctx.app(), ctx.platform());
+  const core::Evaluation base_eval = ctx.evaluate_uncached(current);
+  pool.push_back(current);
+  while (pool.size() < distinct) {
+    const core::Move move = ctx.random_move(current, base_eval, rng);
+    if (!ctx.apply(move, current)) continue;
+    pool.push_back(current);
+  }
+
+  std::vector<core::Candidate> visits;
+  visits.reserve(num_visits);
+  for (std::size_t i = 0; i < num_visits; ++i) {
+    visits.push_back(pool[rng.index(pool.size())]);
+  }
+  return visits;
+}
+
+ModeResult run_baseline(const Instance& inst,
+                        const std::vector<core::Candidate>& visits) {
+  // What MoveContext::evaluate did before the workspace existed: a hoisted
+  // reachability index, everything else rebuilt per call.
+  const model::ReachabilityIndex reach(inst.app);
+  ModeResult r;
+  const bench::Stopwatch watch;
+  for (const core::Candidate& cand : visits) {
+    core::SystemConfig cfg = cand.to_config(inst.app);
+    const core::McsResult mcs = core::multi_cluster_scheduling(
+        inst.app, inst.platform, cfg, cand.pins, core::McsOptions{}, reach);
+    core::Evaluation eval;
+    eval.delta = core::degree_of_schedulability(inst.app, mcs.analysis);
+    eval.s_total = mcs.analysis.buffers.total();
+    eval.schedulable = mcs.schedulable(inst.app);
+    r.checksum += eval_checksum(eval);
+  }
+  r.seconds = watch.seconds();
+  r.evals_per_sec = static_cast<double>(visits.size()) / r.seconds;
+  return r;
+}
+
+ModeResult run_workspace(const core::MoveContext& ctx,
+                         const std::vector<core::Candidate>& visits, bool cached) {
+  ModeResult r;
+  const bench::Stopwatch watch;
+  for (const core::Candidate& cand : visits) {
+    const core::Evaluation eval =
+        cached ? ctx.evaluate(cand) : ctx.evaluate_uncached(cand);
+    r.checksum += eval_checksum(eval);
+  }
+  r.seconds = watch.seconds();
+  r.evals_per_sec = static_cast<double>(visits.size()) / r.seconds;
+  return r;
+}
+
+struct InstanceReport {
+  std::string name;
+  std::size_t processes = 0;
+  std::size_t messages = 0;
+  std::size_t visits = 0;
+  ModeResult baseline, workspace, workspace_cache;
+  double cache_hit_rate = 0.0;
+  bool consistent = false;
+};
+
+InstanceReport run_instance(const Instance& inst, std::size_t num_visits) {
+  InstanceReport report;
+  report.name = inst.name;
+  report.processes = inst.app.num_processes();
+  report.messages = inst.app.num_messages();
+  report.visits = num_visits;
+
+  const core::MoveContext ctx(inst.app, inst.platform, core::McsOptions{});
+  const auto visits = make_visits(ctx, num_visits);
+
+  report.baseline = run_baseline(inst, visits);
+  report.workspace = run_workspace(ctx, visits, /*cached=*/false);
+  const auto hits_before = ctx.evaluation_cache().hits();
+  const auto lookups_before =
+      ctx.evaluation_cache().hits() + ctx.evaluation_cache().misses();
+  report.workspace_cache = run_workspace(ctx, visits, /*cached=*/true);
+  const auto lookups =
+      ctx.evaluation_cache().hits() + ctx.evaluation_cache().misses() - lookups_before;
+  report.cache_hit_rate =
+      static_cast<double>(ctx.evaluation_cache().hits() - hits_before) /
+      static_cast<double>(lookups);
+  report.consistent = report.baseline.checksum == report.workspace.checksum &&
+                      report.baseline.checksum == report.workspace_cache.checksum;
+
+  std::printf(
+      "%-14s %4zu procs %4zu msgs | baseline %9.0f/s | workspace %9.0f/s (%.2fx) "
+      "| +cache %9.0f/s (%.2fx, %.0f%% hits) | %s\n",
+      inst.name.c_str(), report.processes, report.messages,
+      report.baseline.evals_per_sec, report.workspace.evals_per_sec,
+      report.workspace.evals_per_sec / report.baseline.evals_per_sec,
+      report.workspace_cache.evals_per_sec,
+      report.workspace_cache.evals_per_sec / report.baseline.evals_per_sec,
+      100.0 * report.cache_hit_rate,
+      report.consistent ? "results identical" : "RESULTS DIFFER");
+  return report;
+}
+
+void append_mode(std::ofstream& out, const char* name, const ModeResult& mode,
+                 bool trailing_comma) {
+  out << "      \"" << name << "\": {\"seconds\": " << mode.seconds
+      << ", \"evals_per_sec\": " << mode.evals_per_sec << "}"
+      << (trailing_comma ? ",\n" : "\n");
+}
+
+}  // namespace
+
+int main() {
+  std::size_t num_visits = 512;
+  if (const char* s = std::getenv("MCS_BENCH_EVAL_VISITS")) {
+    num_visits = std::max<std::size_t>(16, std::strtoul(s, nullptr, 10));
+  }
+
+  std::vector<Instance> instances;
+  {
+    auto ex = gen::make_paper_example();
+    instances.push_back({"paper_example", std::move(ex.app), std::move(ex.platform)});
+  }
+  {
+    gen::GeneratorParams p;
+    p.tt_nodes = 2;
+    p.et_nodes = 2;
+    p.processes_per_node = 8;
+    p.processes_per_graph = 16;
+    p.wcet_min = 50;
+    p.wcet_max = 400;
+    p.seed = 97;
+    auto sys = gen::generate(p);
+    instances.push_back({"small_2x2", std::move(sys.app), std::move(sys.platform)});
+  }
+  if (std::getenv("MCS_BENCH_FULL") != nullptr) {
+    gen::GeneratorParams p;
+    p.tt_nodes = 3;
+    p.et_nodes = 3;
+    p.seed = 98;
+    auto sys = gen::generate(p);
+    instances.push_back({"paper_6x40", std::move(sys.app), std::move(sys.platform)});
+  }
+
+  std::vector<InstanceReport> reports;
+  for (const Instance& inst : instances) {
+    reports.push_back(run_instance(inst, num_visits));
+  }
+
+  std::ofstream out("BENCH_eval_throughput.json");
+  out << "{\n  \"bench\": \"eval_throughput\",\n  \"visits\": " << num_visits
+      << ",\n  \"instances\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const InstanceReport& r = reports[i];
+    out << "    {\n      \"name\": \"" << r.name << "\",\n      \"processes\": "
+        << r.processes << ",\n      \"messages\": " << r.messages
+        << ",\n      \"visits\": " << r.visits << ",\n";
+    append_mode(out, "baseline", r.baseline, true);
+    append_mode(out, "workspace", r.workspace, true);
+    append_mode(out, "workspace_cache", r.workspace_cache, true);
+    out << "      \"speedup_workspace\": "
+        << r.workspace.evals_per_sec / r.baseline.evals_per_sec
+        << ",\n      \"speedup_total\": "
+        << r.workspace_cache.evals_per_sec / r.baseline.evals_per_sec
+        << ",\n      \"cache_hit_rate\": " << r.cache_hit_rate
+        << ",\n      \"consistent\": " << (r.consistent ? "true" : "false")
+        << "\n    }" << (i + 1 < reports.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+
+  bool ok = true;
+  for (const InstanceReport& r : reports) ok = ok && r.consistent;
+  if (!ok) {
+    std::fprintf(stderr, "eval_throughput: paths disagree — see above\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+#include "mcs/core/analysis_workspace.hpp"
+
+#include <algorithm>
+
+#include "mcs/util/math.hpp"
+
+namespace mcs::core {
+
+using model::Application;
+using util::GraphId;
+using util::MessageId;
+using util::ProcessId;
+using util::Time;
+
+AnalysisWorkspace::AnalysisWorkspace(const Application& app,
+                                     const arch::Platform& platform)
+    : app_(&app),
+      platform_(&platform),
+      owned_reach_(std::make_unique<model::ReachabilityIndex>(app)) {
+  reach_ = owned_reach_.get();
+  build();
+}
+
+AnalysisWorkspace::AnalysisWorkspace(const Application& app,
+                                     const arch::Platform& platform,
+                                     const model::ReachabilityIndex& reachability)
+    : app_(&app), platform_(&platform), reach_(&reachability) {
+  build();
+}
+
+void AnalysisWorkspace::build() {
+  const Application& app = *app_;
+  const arch::Platform& platform = *platform_;
+
+  routes_.resize(app.num_messages());
+  can_tx_.assign(app.num_messages(), 0);
+  for (std::size_t mi = 0; mi < app.num_messages(); ++mi) {
+    const MessageId m(static_cast<MessageId::underlying_type>(mi));
+    routes_[mi] = classify_route(app, platform, m);
+    switch (routes_[mi]) {
+      case MessageRoute::EtToEt:
+      case MessageRoute::EtToTt:
+      case MessageRoute::TtToEt:
+        can_tx_[mi] = platform.can().tx_time(app.message(m).size_bytes);
+        can_messages_.push_back(m);
+        if (routes_[mi] == MessageRoute::EtToTt) et_to_tt_.push_back(m);
+        if (routes_[mi] == MessageRoute::TtToEt) tt_to_et_.push_back(m);
+        break;
+      default:
+        break;
+    }
+  }
+
+  et_procs_by_node_.resize(platform.num_nodes());
+  for (std::size_t pi = 0; pi < app.num_processes(); ++pi) {
+    const ProcessId p(static_cast<ProcessId::underlying_type>(pi));
+    const model::Process& proc = app.process(p);
+    if (platform.is_et(proc.node)) {
+      et_procs_by_node_[proc.node.index()].push_back(p);
+    }
+  }
+
+  out_ni_by_node_.resize(platform.num_nodes());
+  for (const MessageId m : can_messages_) {
+    const MessageRoute route = routes_[m.index()];
+    if (route != MessageRoute::EtToEt && route != MessageRoute::EtToTt) continue;
+    out_ni_by_node_[app.process(app.message(m).src).node.index()].push_back(m);
+  }
+
+  topo_.reserve(app.num_graphs());
+  for (std::size_t gi = 0; gi < app.num_graphs(); ++gi) {
+    topo_.push_back(model::topological_order(
+        app, GraphId(static_cast<GraphId::underlying_type>(gi))));
+  }
+
+  has_gateway_ = platform.has_gateway();
+  if (has_gateway_) gateway_ = platform.gateway();
+  r_transfer_ = platform.gateway_transfer().wcet;
+
+  Time max_period = 0;
+  for (const auto& g : app.graphs()) max_period = std::max(max_period, g.period);
+  cap_ = util::sat_add(util::sat_mul(4, app.hyper_period()), max_period);
+
+  empty_ttc_.process_start.assign(app.num_processes(), 0);
+  empty_ttc_.message_slot.assign(app.num_messages(), std::nullopt);
+}
+
+AnalysisWorkspace::State& AnalysisWorkspace::reset_state() {
+  const std::size_t np = app_->num_processes();
+  const std::size_t nm = app_->num_messages();
+  state_.o_p.assign(np, 0);
+  state_.e_p.assign(np, 0);
+  state_.j_p.assign(np, 0);
+  state_.w_p.assign(np, 0);
+  state_.r_p.assign(np, 0);
+  state_.o_m.assign(nm, 0);
+  state_.e_m.assign(nm, 0);
+  state_.j_m.assign(nm, 0);
+  state_.w_m.assign(nm, 0);
+  state_.r_m.assign(nm, 0);
+  state_.d_m.assign(nm, 0);
+  state_.ttp_wait.assign(nm, 0);
+  state_.i_m.assign(nm, 0);
+  return state_;
+}
+
+}  // namespace mcs::core

@@ -1,0 +1,146 @@
+// AnalysisWorkspace — candidate-invariant precomputation and reusable
+// buffers for the analysis hot path (see DESIGN.md §1).
+//
+// The optimizers (HOPA, OS, OR, SAS/SAR) call the MultiClusterScheduling
+// fixed point thousands of times on ONE application/platform pair; only
+// the synthesized configuration psi = <phi, beta, pi> varies between
+// calls.  Everything the response-time analysis derives from the
+// application and the platform alone is therefore hoisted here and built
+// exactly once per search:
+//
+//   * message routes (classify_route) and per-message CAN frame times,
+//   * the activity pools (CAN-borne, ET->TT, TT->ET, per-node OutNi),
+//   * ET processes grouped by node, topological orders per graph,
+//   * the precedence reachability closure,
+//   * the gateway transfer WCET and the divergence cap,
+//   * an empty TTC schedule for pure-ET analyses.
+//
+// The workspace additionally owns the fixed-point State buffers (13
+// vectors over processes/messages) which are RESET, not reallocated, on
+// every analysis call, and scratch vectors for the buffer-bound pass.
+//
+// A workspace is single-threaded by design: one search loop, one
+// workspace.  Concurrent searches each build their own.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mcs/core/analysis_types.hpp"
+#include "mcs/model/process_graph.hpp"
+#include "mcs/sched/list_scheduler.hpp"
+
+namespace mcs::core {
+
+class AnalysisWorkspace {
+public:
+  /// Builds all invariant structure, including an owned reachability index.
+  AnalysisWorkspace(const model::Application& app, const arch::Platform& platform);
+
+  /// Same, but reuses a caller-owned reachability index (must outlive the
+  /// workspace).
+  AnalysisWorkspace(const model::Application& app, const arch::Platform& platform,
+                    const model::ReachabilityIndex& reachability);
+
+  [[nodiscard]] const model::Application& app() const noexcept { return *app_; }
+  [[nodiscard]] const arch::Platform& platform() const noexcept { return *platform_; }
+  [[nodiscard]] const model::ReachabilityIndex& reachability() const noexcept {
+    return *reach_;
+  }
+
+  /// True when this workspace was built for exactly these objects (the
+  /// analysis entry points validate this before reusing buffers).
+  [[nodiscard]] bool matches(const model::Application& app,
+                             const arch::Platform& platform) const noexcept {
+    return app_ == &app && platform_ == &platform;
+  }
+
+  // --- hoisted invariant structure ------------------------------------
+  [[nodiscard]] const std::vector<MessageRoute>& routes() const noexcept {
+    return routes_;
+  }
+  [[nodiscard]] MessageRoute route(util::MessageId m) const {
+    return routes_[m.index()];
+  }
+  /// C_m on the CAN bus, 0 for messages that never touch CAN.
+  [[nodiscard]] const std::vector<util::Time>& can_tx() const noexcept {
+    return can_tx_;
+  }
+  [[nodiscard]] const std::vector<util::MessageId>& can_messages() const noexcept {
+    return can_messages_;
+  }
+  [[nodiscard]] const std::vector<util::MessageId>& et_to_tt() const noexcept {
+    return et_to_tt_;
+  }
+  [[nodiscard]] const std::vector<util::MessageId>& tt_to_et() const noexcept {
+    return tt_to_et_;
+  }
+  /// ETC processes per node index (dense over all nodes).
+  [[nodiscard]] const std::vector<std::vector<util::ProcessId>>& et_procs_by_node()
+      const noexcept {
+    return et_procs_by_node_;
+  }
+  /// ET-sourced CAN messages per sender node index (OutNi pools).
+  [[nodiscard]] const std::vector<std::vector<util::MessageId>>& out_ni_by_node()
+      const noexcept {
+    return out_ni_by_node_;
+  }
+  /// Topological order of each graph's processes.
+  [[nodiscard]] const std::vector<std::vector<util::ProcessId>>& topo_orders()
+      const noexcept {
+    return topo_;
+  }
+  [[nodiscard]] bool has_gateway() const noexcept { return has_gateway_; }
+  [[nodiscard]] util::NodeId gateway() const noexcept { return gateway_; }
+  /// r_T of the gateway transfer process.
+  [[nodiscard]] util::Time r_transfer() const noexcept { return r_transfer_; }
+  /// Monotone-iteration divergence cap (4 hyper-periods + max period).
+  [[nodiscard]] util::Time divergence_cap() const noexcept { return cap_; }
+  /// All-zero TTC schedule used when the caller passes none (pure ETC).
+  [[nodiscard]] const sched::TtcSchedule& empty_ttc_schedule() const noexcept {
+    return empty_ttc_;
+  }
+
+  // --- reusable fixed-point state -------------------------------------
+  /// All mutable per-activity state of one analysis run.  Owned by the
+  /// workspace so repeated runs reuse the allocations.
+  struct State {
+    // Processes.
+    std::vector<util::Time> o_p, e_p, j_p, w_p, r_p;
+    // Messages.
+    std::vector<util::Time> o_m, e_m, j_m, w_m, r_m, d_m, ttp_wait;
+    std::vector<std::int64_t> i_m;  ///< bytes ahead in OutTTP
+  };
+
+  /// Zeroes the state (std::vector::assign keeps capacity: no allocation
+  /// after the first call) and returns it.
+  [[nodiscard]] State& reset_state();
+
+private:
+  void build();
+
+  const model::Application* app_;
+  const arch::Platform* platform_;
+  const model::ReachabilityIndex* reach_;
+  /// Set when the workspace owns its reachability index (two-arg ctor).
+  std::unique_ptr<model::ReachabilityIndex> owned_reach_;
+
+  std::vector<MessageRoute> routes_;
+  std::vector<util::Time> can_tx_;
+  std::vector<util::MessageId> can_messages_;
+  std::vector<util::MessageId> et_to_tt_;
+  std::vector<util::MessageId> tt_to_et_;
+  std::vector<std::vector<util::ProcessId>> et_procs_by_node_;
+  std::vector<std::vector<util::MessageId>> out_ni_by_node_;
+  std::vector<std::vector<util::ProcessId>> topo_;
+  bool has_gateway_ = false;
+  util::NodeId gateway_ = util::NodeId::invalid();
+  util::Time r_transfer_ = 0;
+  util::Time cap_ = 0;
+  sched::TtcSchedule empty_ttc_;
+
+  State state_;
+};
+
+}  // namespace mcs::core

@@ -97,6 +97,13 @@ HopaResult hopa_priorities(const Application& app, const arch::Platform& platfor
                            const arch::TdmaRound& tdma,
                            const model::ReachabilityIndex& reachability,
                            const HopaOptions& options) {
+  AnalysisWorkspace workspace(app, platform, reachability);
+  return hopa_priorities(app, platform, tdma, workspace, options);
+}
+
+HopaResult hopa_priorities(const Application& app, const arch::Platform& platform,
+                           const arch::TdmaRound& tdma,
+                           AnalysisWorkspace& workspace, const HopaOptions& options) {
   LocalDeadlines ld = initial_deadlines(app, platform);
 
   HopaResult best;
@@ -117,7 +124,7 @@ HopaResult hopa_priorities(const Application& app, const arch::Platform& platfor
     }
     const McsResult mcs = multi_cluster_scheduling(
         app, platform, cfg, sched::ScheduleConstraints::none(app), options.mcs,
-        reachability);
+        workspace);
     const Schedulability delta = degree_of_schedulability(app, mcs.analysis);
 
     if (!have_best || delta < best.delta) {

@@ -38,6 +38,14 @@ struct HopaResult {
                                          const model::ReachabilityIndex& reachability,
                                          const HopaOptions& options = {});
 
+/// Hot-path overload: every analysis round reuses `workspace` (the
+/// optimizers run HOPA once per tried TDMA round).
+[[nodiscard]] HopaResult hopa_priorities(const model::Application& app,
+                                         const arch::Platform& platform,
+                                         const arch::TdmaRound& tdma,
+                                         AnalysisWorkspace& workspace,
+                                         const HopaOptions& options = {});
+
 /// The non-iterated initializer: local deadlines proportional to the
 /// WCET-weighted progress along the longest path; deadline-monotonic
 /// priorities per resource.  Used as the straightforward (SF) priority

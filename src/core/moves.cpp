@@ -6,6 +6,7 @@
 
 #include "mcs/core/analysis_types.hpp"
 #include "mcs/sched/list_scheduler.hpp"
+#include "mcs/util/hash.hpp"
 
 namespace mcs::core {
 
@@ -66,11 +67,12 @@ std::string to_string(const Move& move) {
 }
 
 MoveContext::MoveContext(const Application& app, const arch::Platform& platform,
-                         McsOptions mcs_options)
+                         McsOptions mcs_options, std::size_t eval_cache_capacity)
     : app_(app),
       platform_(platform),
-      reach_(app),
       mcs_options_(mcs_options),
+      workspace_(app, platform),
+      cache_(eval_cache_capacity),
       slot_lengths_by_node_(platform.num_nodes()) {
   for (std::size_t pi = 0; pi < app.num_processes(); ++pi) {
     const ProcessId p(static_cast<ProcessId::underlying_type>(pi));
@@ -81,19 +83,9 @@ MoveContext::MoveContext(const Application& app, const arch::Platform& platform,
     }
   }
   for (std::size_t mi = 0; mi < app.num_messages(); ++mi) {
-    const MessageId m(static_cast<MessageId::underlying_type>(mi));
-    switch (classify_route(app, platform, m)) {
-      case MessageRoute::EtToEt:
-      case MessageRoute::EtToTt:
-      case MessageRoute::TtToEt:
-        can_messages_.push_back(m);
-        break;
-      default:
-        break;
-    }
-    const auto route = classify_route(app, platform, m);
+    const MessageRoute route = workspace_.routes()[mi];
     if (route == MessageRoute::TtToTt || route == MessageRoute::TtToEt) {
-      tt_messages_.push_back(m);
+      tt_messages_.push_back(MessageId(static_cast<MessageId::underlying_type>(mi)));
     }
   }
   for (const NodeId n : platform.ttp_slot_owners()) {
@@ -106,11 +98,70 @@ const std::vector<Time>& MoveContext::slot_lengths(NodeId owner) const {
   return slot_lengths_by_node_.at(owner.index());
 }
 
+const Evaluation* EvaluationCache::find(std::uint64_t hash,
+                                        const std::vector<std::int64_t>& key) {
+  const auto it = entries_.find(hash);
+  if (it != entries_.end() && it->second.key == key) {
+    it->second.last_used = ++clock_;
+    ++hits_;
+    return &it->second.eval;
+  }
+  ++misses_;
+  return nullptr;
+}
+
+void EvaluationCache::insert(std::uint64_t hash,
+                             const std::vector<std::int64_t>& key,
+                             const Evaluation& eval) {
+  if (capacity_ == 0) return;
+  // A full-hash collision with a different key overwrites the slot: rarer
+  // than eviction and still correct (find() compares the full key).
+  if (entries_.size() >= capacity_ && entries_.find(hash) == entries_.end()) {
+    auto victim = std::min_element(entries_.begin(), entries_.end(),
+                                   [](const auto& a, const auto& b) {
+                                     return a.second.last_used < b.second.last_used;
+                                   });
+    entries_.erase(victim);
+  }
+  entries_[hash] = Entry{key, eval, ++clock_};
+}
+
+void EvaluationCache::clear() {
+  entries_.clear();
+  clock_ = hits_ = misses_ = 0;
+}
+
+void MoveContext::encode_genotype(const Candidate& candidate,
+                                  std::vector<std::int64_t>& out) const {
+  out.clear();
+  out.reserve(2 * candidate.tdma.num_slots() + candidate.process_priorities.size() +
+              candidate.message_priorities.size() +
+              candidate.pins.process_release.size() +
+              candidate.pins.message_tx.size());
+  for (const arch::Slot& s : candidate.tdma.slots()) {
+    out.push_back(static_cast<std::int64_t>(s.owner.value()));
+    out.push_back(s.length);
+  }
+  for (const Priority p : candidate.process_priorities) out.push_back(p);
+  for (const Priority p : candidate.message_priorities) out.push_back(p);
+  for (const Time t : candidate.pins.process_release) out.push_back(t);
+  for (const Time t : candidate.pins.message_tx) out.push_back(t);
+}
+
 Evaluation MoveContext::evaluate(const Candidate& candidate) const {
+  encode_genotype(candidate, key_scratch_);
+  const std::uint64_t hash = util::fnv1a(key_scratch_);
+  if (const Evaluation* hit = cache_.find(hash, key_scratch_)) return *hit;
+  Evaluation eval = evaluate_uncached(candidate);
+  cache_.insert(hash, key_scratch_, eval);
+  return eval;
+}
+
+Evaluation MoveContext::evaluate_uncached(const Candidate& candidate) const {
   Evaluation eval;
   SystemConfig cfg = candidate.to_config(app_);
   eval.mcs = multi_cluster_scheduling(app_, platform_, cfg, candidate.pins,
-                                      mcs_options_, reach_);
+                                      mcs_options_, workspace_);
   eval.delta = degree_of_schedulability(app_, eval.mcs.analysis);
   eval.s_total = eval.mcs.analysis.buffers.total();
   eval.schedulable = eval.mcs.schedulable(app_);
@@ -185,9 +236,9 @@ std::vector<Move> MoveContext::generate_neighbors(const Candidate& current,
     }
   };
   auto add_message_swaps = [&] {
-    for (std::size_t i = 0; i < can_messages_.size(); ++i) {
-      for (std::size_t j = i + 1; j < can_messages_.size(); ++j) {
-        moves.push_back(SwapMessagePrioritiesMove{can_messages_[i], can_messages_[j]});
+    for (std::size_t i = 0; i < can_messages().size(); ++i) {
+      for (std::size_t j = i + 1; j < can_messages().size(); ++j) {
+        moves.push_back(SwapMessagePrioritiesMove{can_messages()[i], can_messages()[j]});
       }
     }
   };
@@ -273,9 +324,9 @@ Move MoveContext::random_move(const Candidate& current, const Evaluation& eval,
         return SwapProcessPrioritiesMove{a, b};
       }
       case 3: {  // swap message priorities
-        if (can_messages_.size() < 2) break;
-        const MessageId a = can_messages_[rng.index(can_messages_.size())];
-        const MessageId b = can_messages_[rng.index(can_messages_.size())];
+        if (can_messages().size() < 2) break;
+        const MessageId a = can_messages()[rng.index(can_messages().size())];
+        const MessageId b = can_messages()[rng.index(can_messages().size())];
         if (a == b) break;
         return SwapMessagePrioritiesMove{a, b};
       }
@@ -299,8 +350,8 @@ Move MoveContext::random_move(const Candidate& current, const Evaluation& eval,
     }
   }
   // Degenerate design space: fall back to a no-op priority swap.
-  if (can_messages_.size() >= 2) {
-    return SwapMessagePrioritiesMove{can_messages_[0], can_messages_[1]};
+  if (can_messages().size() >= 2) {
+    return SwapMessagePrioritiesMove{can_messages()[0], can_messages()[1]};
   }
   if (current.tdma.num_slots() >= 2) return SwapSlotsMove{0, 1};
   throw std::logic_error("random_move: design space has no moves");

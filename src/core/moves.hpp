@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <variant>
 #include <vector>
 
@@ -74,18 +75,67 @@ using Move = std::variant<ShiftProcessMove, ShiftMessageMove,
 
 [[nodiscard]] std::string to_string(const Move& move);
 
+/// Bounded memoization of candidate evaluations, keyed by the genotype
+/// encoded as flat words and hashed with FNV-1a.  A hash hit is confirmed
+/// by a full key compare, so collisions can never return a wrong
+/// Evaluation.  Eviction is least-recently-used (exact, via an access
+/// stamp; the linear eviction scan is noise next to one saved fixed
+/// point).
+class EvaluationCache {
+public:
+  explicit EvaluationCache(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  /// Returns the cached evaluation for `key` or nullptr.
+  [[nodiscard]] const Evaluation* find(std::uint64_t hash,
+                                       const std::vector<std::int64_t>& key);
+  void insert(std::uint64_t hash, const std::vector<std::int64_t>& key,
+              const Evaluation& eval);
+  void clear();
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+private:
+  struct Entry {
+    std::vector<std::int64_t> key;
+    Evaluation eval;
+    std::uint64_t last_used = 0;
+  };
+
+  std::size_t capacity_;
+  std::unordered_map<std::uint64_t, Entry> entries_;  ///< keyed by FNV-1a
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
 /// Precomputed immutable context shared by every move/evaluation call.
+/// Owns the per-search AnalysisWorkspace and the evaluation cache (both
+/// mutable behind the const interface; a MoveContext is single-threaded
+/// like the search loops that use it).
 class MoveContext {
 public:
+  /// `eval_cache_capacity` bounds the memoized-Evaluation count; each
+  /// entry deep-copies a full McsResult, so searches over very large
+  /// systems may want a smaller cache (0 disables memoization).
   MoveContext(const model::Application& app, const arch::Platform& platform,
-              McsOptions mcs_options);
+              McsOptions mcs_options, std::size_t eval_cache_capacity = 1024);
 
   [[nodiscard]] const model::Application& app() const noexcept { return app_; }
   [[nodiscard]] const arch::Platform& platform() const noexcept { return platform_; }
   [[nodiscard]] const model::ReachabilityIndex& reachability() const noexcept {
-    return reach_;
+    return workspace_.reachability();
   }
   [[nodiscard]] const McsOptions& mcs_options() const noexcept { return mcs_options_; }
+
+  /// The reusable analysis workspace (hopa/optimize_schedule thread it
+  /// through their own MultiClusterScheduling calls).
+  [[nodiscard]] AnalysisWorkspace& workspace() const noexcept { return workspace_; }
+  [[nodiscard]] const EvaluationCache& evaluation_cache() const noexcept {
+    return cache_;
+  }
 
   /// ETC processes (priority swaps apply to these).
   [[nodiscard]] const std::vector<util::ProcessId>& et_processes() const noexcept {
@@ -93,7 +143,7 @@ public:
   }
   /// CAN-borne messages (priority swaps apply to these).
   [[nodiscard]] const std::vector<util::MessageId>& can_messages() const noexcept {
-    return can_messages_;
+    return workspace_.can_messages();
   }
   /// TT processes (shift moves apply to these).
   [[nodiscard]] const std::vector<util::ProcessId>& tt_processes() const noexcept {
@@ -106,7 +156,13 @@ public:
   /// Candidate lengths for the slot owned by `owner`.
   [[nodiscard]] const std::vector<util::Time>& slot_lengths(util::NodeId owner) const;
 
+  /// Runs the full MultiClusterScheduling fixed point for `candidate`,
+  /// memoized: a revisited genotype costs a hash lookup instead.
   [[nodiscard]] Evaluation evaluate(const Candidate& candidate) const;
+
+  /// Uncached evaluation (the memoization layer calls this on a miss;
+  /// exposed for the cache-consistency tests and benches).
+  [[nodiscard]] Evaluation evaluate_uncached(const Candidate& candidate) const;
 
   /// Applies a move in place.  Returns false when the move is a no-op for
   /// this candidate (e.g. resizing to the current length).
@@ -125,14 +181,17 @@ public:
 private:
   const model::Application& app_;
   const arch::Platform& platform_;
-  model::ReachabilityIndex reach_;
   McsOptions mcs_options_;
+  mutable AnalysisWorkspace workspace_;
+  mutable EvaluationCache cache_;
+  mutable std::vector<std::int64_t> key_scratch_;
   std::vector<util::ProcessId> et_processes_;
-  std::vector<util::MessageId> can_messages_;
   std::vector<util::ProcessId> tt_processes_;
   std::vector<util::MessageId> tt_messages_;
   std::vector<std::vector<util::Time>> slot_lengths_by_node_;
 
+  void encode_genotype(const Candidate& candidate,
+                       std::vector<std::int64_t>& out) const;
   [[nodiscard]] sched::MobilityWindows mobility(const Evaluation& eval) const;
 };
 

@@ -15,7 +15,7 @@ McsResult multi_cluster_scheduling(const model::Application& app,
                                    SystemConfig& config,
                                    const sched::ScheduleConstraints& extra_constraints,
                                    const McsOptions& options,
-                                   const model::ReachabilityIndex& reachability) {
+                                   AnalysisWorkspace& workspace) {
   McsResult result;
 
   sched::ScheduleConstraints constraints = extra_constraints;
@@ -47,15 +47,15 @@ McsResult multi_cluster_scheduling(const model::Application& app,
     input.config = &config;
     input.ttc_schedule = &result.schedule;
     input.options = options.analysis;
-    result.analysis = response_time_analysis(input, reachability);
+    result.analysis = response_time_analysis(input, workspace);
 
     // Feed worst-case ETC->TTC deliveries back as TT release constraints.
+    // Only gateway-bound (ET->TT) messages can generate constraints; the
+    // workspace precomputed that pool, so the scan skips everything else.
     bool constraints_changed = false;
-    for (std::size_t mi = 0; mi < app.num_messages(); ++mi) {
-      const util::MessageId m(static_cast<util::MessageId::underlying_type>(mi));
-      if (classify_route(app, platform, m) != MessageRoute::EtToTt) continue;
+    for (const util::MessageId m : workspace.et_to_tt()) {
       const util::ProcessId dst = app.message(m).dst;
-      const util::Time delivery = result.analysis.message_delivery[mi];
+      const util::Time delivery = result.analysis.message_delivery[m.index()];
       if (delivery > constraints.process_release[dst.index()]) {
         constraints.process_release[dst.index()] = delivery;
         constraints_changed = true;
@@ -90,11 +90,22 @@ McsResult multi_cluster_scheduling(const model::Application& app,
 
 McsResult multi_cluster_scheduling(const model::Application& app,
                                    const arch::Platform& platform,
+                                   SystemConfig& config,
+                                   const sched::ScheduleConstraints& extra_constraints,
+                                   const McsOptions& options,
+                                   const model::ReachabilityIndex& reachability) {
+  AnalysisWorkspace workspace(app, platform, reachability);
+  return multi_cluster_scheduling(app, platform, config, extra_constraints,
+                                  options, workspace);
+}
+
+McsResult multi_cluster_scheduling(const model::Application& app,
+                                   const arch::Platform& platform,
                                    SystemConfig& config, const McsOptions& options) {
-  const model::ReachabilityIndex reachability(app);
+  AnalysisWorkspace workspace(app, platform);
   return multi_cluster_scheduling(app, platform, config,
                                   sched::ScheduleConstraints::none(app), options,
-                                  reachability);
+                                  workspace);
 }
 
 }  // namespace mcs::core

@@ -40,6 +40,16 @@ struct McsOptions {
 /// `extra_constraints` lets the optimizers pin TTC activities later than
 /// their natural ASAP position (OptimizeResources move set); pass
 /// ScheduleConstraints::none(app) when unused.
+///
+/// Hot-path overload: reuses the candidate-invariant precomputation and
+/// analysis buffers of `workspace` (one per search loop; see DESIGN.md §1).
+[[nodiscard]] McsResult multi_cluster_scheduling(
+    const model::Application& app, const arch::Platform& platform,
+    SystemConfig& config, const sched::ScheduleConstraints& extra_constraints,
+    const McsOptions& options, AnalysisWorkspace& workspace);
+
+/// Convenience overload building a transient workspace around a prebuilt
+/// reachability index.
 [[nodiscard]] McsResult multi_cluster_scheduling(
     const model::Application& app, const arch::Platform& platform,
     SystemConfig& config, const sched::ScheduleConstraints& extra_constraints,

@@ -51,7 +51,7 @@ OptimizeScheduleResult optimize_schedule(const MoveContext& ctx,
   // evaluation for the buffer/schedulability metrics.
   auto evaluate_with_hopa = [&](Candidate& cand) -> Evaluation {
     const HopaResult hopa = hopa_priorities(app, platform, cand.tdma,
-                                            ctx.reachability(), options.hopa);
+                                            ctx.workspace(), options.hopa);
     cand.process_priorities = hopa.process_priorities;
     cand.message_priorities = hopa.message_priorities;
     result.evaluations += hopa.iterations + 1;

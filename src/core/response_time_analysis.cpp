@@ -51,17 +51,14 @@ using util::Time;
   return n;
 }
 
-/// All mutable per-activity state of the fixed-point iteration.  Every
+/// All mutable per-activity state of the fixed-point iteration (owned by
+/// the AnalysisWorkspace so repeated runs reuse the allocations).  Every
 /// field is monotonically non-decreasing across iterations, which (with
 /// the divergence cap) guarantees termination.
-struct State {
-  // Processes.
-  std::vector<Time> o_p, e_p, j_p, w_p, r_p;
-  // Messages.
-  std::vector<Time> o_m, e_m, j_m, w_m, r_m, d_m, ttp_wait;
-  std::vector<std::int64_t> i_m;  ///< bytes ahead in OutTTP
-};
+using State = AnalysisWorkspace::State;
 
+/// Per-call view: configuration-dependent quantities plus const references
+/// into the workspace's hoisted invariant structure.
 struct Ctx {
   const Application& app;
   const arch::Platform& platform;
@@ -70,14 +67,14 @@ struct Ctx {
   const AnalysisOptions& opt;
   const model::ReachabilityIndex& reach;
 
-  std::vector<MessageRoute> route;
-  std::vector<Time> can_tx;              ///< C_m on the CAN bus (0 if not CAN-borne)
-  std::vector<bool> can_borne;
-  std::vector<std::vector<ProcessId>> et_procs_by_node;  ///< dense by node index
-  std::vector<MessageId> can_messages;
-  std::vector<MessageId> et_to_tt;
-  std::vector<MessageId> tt_to_et;
-  std::vector<std::vector<ProcessId>> topo;  ///< per graph
+  const std::vector<MessageRoute>& route;
+  const std::vector<Time>& can_tx;       ///< C_m on the CAN bus (0 if not CAN-borne)
+  const std::vector<std::vector<ProcessId>>& et_procs_by_node;  ///< dense by node index
+  const std::vector<MessageId>& can_messages;
+  const std::vector<MessageId>& et_to_tt;
+  const std::vector<MessageId>& tt_to_et;
+  const std::vector<std::vector<MessageId>>& out_ni_by_node;
+  const std::vector<std::vector<ProcessId>>& topo;  ///< per graph
   bool has_sg_slot = false;
   std::size_t sg_slot = 0;
   Time r_transfer = 0;  ///< r_T of the gateway transfer process
@@ -478,13 +475,8 @@ BufferBounds buffer_bounds(const Ctx& ctx, const State& s) {
   bounds.out_can = priority_queue_bound(ctx.tt_to_et);
 
   // OutNi: one priority queue per ETC node for all messages its processes
-  // send onto the CAN bus.
-  std::vector<std::vector<MessageId>> by_node(ctx.platform.num_nodes());
-  for (const MessageId m : ctx.can_messages) {
-    const MessageRoute route = ctx.route[m.index()];
-    if (route != MessageRoute::EtToEt && route != MessageRoute::EtToTt) continue;
-    by_node[app.process(app.message(m).src).node.index()].push_back(m);
-  }
+  // send onto the CAN bus (pools precomputed in the workspace).
+  const auto& by_node = ctx.out_ni_by_node;
   for (std::size_t n = 0; n < by_node.size(); ++n) {
     if (by_node[n].empty()) continue;
     bounds.out_node[NodeId(static_cast<NodeId::underlying_type>(n))] =
@@ -504,86 +496,50 @@ BufferBounds buffer_bounds(const Ctx& ctx, const State& s) {
 }  // namespace
 
 AnalysisResult response_time_analysis(const AnalysisInput& input,
-                                      const model::ReachabilityIndex& reach) {
+                                      AnalysisWorkspace& workspace) {
   if (input.app == nullptr || input.platform == nullptr || input.config == nullptr) {
     throw std::invalid_argument("response_time_analysis: null input");
   }
   const Application& app = *input.app;
   const arch::Platform& platform = *input.platform;
+  if (!workspace.matches(app, platform)) {
+    throw std::invalid_argument(
+        "response_time_analysis: workspace built for a different system");
+  }
 
   // Fallback empty TTC schedule for pure-ET systems.
-  sched::TtcSchedule empty_schedule;
   const sched::TtcSchedule* ttc = input.ttc_schedule;
-  if (ttc == nullptr) {
-    empty_schedule.process_start.assign(app.num_processes(), 0);
-    empty_schedule.message_slot.assign(app.num_messages(), std::nullopt);
-    ttc = &empty_schedule;
-  }
+  if (ttc == nullptr) ttc = &workspace.empty_ttc_schedule();
 
-  Ctx ctx{app, platform, *input.config, *ttc, input.options, reach,
-          {},  {},       {},            {},   {},            {},
-          {},  {},       false,         0,    0,             0,
-          0,   false};
+  Ctx ctx{app,
+          platform,
+          *input.config,
+          *ttc,
+          input.options,
+          workspace.reachability(),
+          workspace.routes(),
+          workspace.can_tx(),
+          workspace.et_procs_by_node(),
+          workspace.can_messages(),
+          workspace.et_to_tt(),
+          workspace.tt_to_et(),
+          workspace.out_ni_by_node(),
+          workspace.topo_orders(),
+          false,
+          0,
+          workspace.r_transfer(),
+          workspace.divergence_cap(),
+          0,
+          false};
 
-  // Routes, transmission times, activity pools.
-  ctx.route.resize(app.num_messages());
-  ctx.can_tx.assign(app.num_messages(), 0);
-  ctx.can_borne.assign(app.num_messages(), false);
-  for (std::size_t mi = 0; mi < app.num_messages(); ++mi) {
-    const MessageId m(static_cast<MessageId::underlying_type>(mi));
-    ctx.route[mi] = classify_route(app, platform, m);
-    switch (ctx.route[mi]) {
-      case MessageRoute::EtToEt:
-      case MessageRoute::EtToTt:
-      case MessageRoute::TtToEt:
-        ctx.can_borne[mi] = true;
-        ctx.can_tx[mi] = platform.can().tx_time(app.message(m).size_bytes);
-        ctx.can_messages.push_back(m);
-        if (ctx.route[mi] == MessageRoute::EtToTt) ctx.et_to_tt.push_back(m);
-        if (ctx.route[mi] == MessageRoute::TtToEt) ctx.tt_to_et.push_back(m);
-        break;
-      default:
-        break;
-    }
-  }
-
-  ctx.et_procs_by_node.resize(platform.num_nodes());
-  for (std::size_t pi = 0; pi < app.num_processes(); ++pi) {
-    const ProcessId p(static_cast<ProcessId::underlying_type>(pi));
-    const Process& proc = app.process(p);
-    if (platform.is_et(proc.node)) ctx.et_procs_by_node[proc.node.index()].push_back(p);
-  }
-
-  for (std::size_t gi = 0; gi < app.num_graphs(); ++gi) {
-    ctx.topo.push_back(model::topological_order(
-        app, util::GraphId(static_cast<util::GraphId::underlying_type>(gi))));
-  }
-
-  if (platform.has_gateway() &&
-      ctx.cfg.tdma().owns_slot(platform.gateway())) {
+  // The gateway slot depends on beta (part of the candidate), so it is the
+  // one piece of setup resolved per call.
+  if (workspace.has_gateway() && ctx.cfg.tdma().owns_slot(workspace.gateway())) {
     ctx.has_sg_slot = true;
-    ctx.sg_slot = ctx.cfg.tdma().slot_of(platform.gateway());
+    ctx.sg_slot = ctx.cfg.tdma().slot_of(workspace.gateway());
   }
-  ctx.r_transfer = platform.gateway_transfer().wcet;
 
-  Time max_period = 0;
-  for (const auto& g : app.graphs()) max_period = std::max(max_period, g.period);
-  ctx.cap = util::sat_add(4 * app.hyper_period(), max_period);
-
-  State s;
-  s.o_p.assign(app.num_processes(), 0);
-  s.e_p.assign(app.num_processes(), 0);
-  s.j_p.assign(app.num_processes(), 0);
-  s.w_p.assign(app.num_processes(), 0);
-  s.r_p.assign(app.num_processes(), 0);
-  s.o_m.assign(app.num_messages(), 0);
-  s.e_m.assign(app.num_messages(), 0);
-  s.j_m.assign(app.num_messages(), 0);
-  s.w_m.assign(app.num_messages(), 0);
-  s.r_m.assign(app.num_messages(), 0);
-  s.d_m.assign(app.num_messages(), 0);
-  s.ttp_wait.assign(app.num_messages(), 0);
-  s.i_m.assign(app.num_messages(), 0);
+  State& s = workspace.reset_state();
 
   AnalysisResult result;
   int iterations = 0;
@@ -613,33 +569,44 @@ AnalysisResult response_time_analysis(const AnalysisInput& input,
         std::max(result.graph_response[p.graph.index()], completion);
   }
 
-  result.process_offsets = std::move(s.o_p);
-  result.message_offsets = std::move(s.o_m);
-  result.process_response = std::move(s.r_p);
-  result.process_jitter = std::move(s.j_p);
+  // Copy (not move): the State buffers stay with the workspace so the
+  // next call reuses their capacity.
+  result.process_offsets = s.o_p;
+  result.message_offsets = s.o_m;
+  result.process_response = s.r_p;
+  result.process_jitter = s.j_p;
   // s.w_p is the full busy window; report the paper's interference
   // I_i = w_i - C_i (e.g. I2 = 20 in Figure 4a).
-  result.process_interference = std::move(s.w_p);
+  result.process_interference = s.w_p;
   for (std::size_t pi = 0; pi < app.num_processes(); ++pi) {
     result.process_interference[pi] = std::max<Time>(
         0, result.process_interference[pi] - app.processes()[pi].wcet);
   }
-  result.message_response = std::move(s.r_m);
-  result.message_jitter = std::move(s.j_m);
-  result.message_queue_delay = std::move(s.w_m);
-  result.message_ttp_wait = std::move(s.ttp_wait);
-  result.message_bytes_ahead = std::move(s.i_m);
-  result.message_delivery = std::move(s.d_m);
+  result.message_response = s.r_m;
+  result.message_jitter = s.j_m;
+  result.message_queue_delay = s.w_m;
+  result.message_ttp_wait = s.ttp_wait;
+  result.message_bytes_ahead = s.i_m;
+  result.message_delivery = s.d_m;
 
   return result;
 }
 
-AnalysisResult response_time_analysis(const AnalysisInput& input) {
-  if (input.app == nullptr) {
-    throw std::invalid_argument("response_time_analysis: null application");
+AnalysisResult response_time_analysis(const AnalysisInput& input,
+                                      const model::ReachabilityIndex& reach) {
+  if (input.app == nullptr || input.platform == nullptr) {
+    throw std::invalid_argument("response_time_analysis: null input");
   }
-  const model::ReachabilityIndex reach(*input.app);
-  return response_time_analysis(input, reach);
+  AnalysisWorkspace workspace(*input.app, *input.platform, reach);
+  return response_time_analysis(input, workspace);
+}
+
+AnalysisResult response_time_analysis(const AnalysisInput& input) {
+  if (input.app == nullptr || input.platform == nullptr) {
+    throw std::invalid_argument("response_time_analysis: null input");
+  }
+  AnalysisWorkspace workspace(*input.app, *input.platform);
+  return response_time_analysis(input, workspace);
 }
 
 }  // namespace mcs::core

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "mcs/core/analysis_types.hpp"
+#include "mcs/core/analysis_workspace.hpp"
 #include "mcs/model/process_graph.hpp"
 #include "mcs/sched/list_scheduler.hpp"
 
@@ -48,5 +49,13 @@ struct AnalysisInput {
 /// (the optimizers call the analysis thousands of times on one model).
 [[nodiscard]] AnalysisResult response_time_analysis(
     const AnalysisInput& input, const model::ReachabilityIndex& reachability);
+
+/// Hot-path overload: reuses every application/platform-invariant
+/// precomputation and the fixed-point State buffers owned by `workspace`
+/// (built once per search; see DESIGN.md §1).  Produces bit-identical
+/// results to the convenience overloads.  Throws std::invalid_argument if
+/// the workspace was built for different objects.
+[[nodiscard]] AnalysisResult response_time_analysis(const AnalysisInput& input,
+                                                    AnalysisWorkspace& workspace);
 
 }  // namespace mcs::core

@@ -1,0 +1,49 @@
+// FNV-1a hashing for genotype memoization keys.
+//
+// The optimizer caches evaluations by candidate genotype (TDMA round,
+// priorities, pins).  Keys are encoded as flat std::int64_t words and
+// hashed with 64-bit FNV-1a: tiny, deterministic across runs and
+// platforms (unlike std::hash), and good enough dispersion for a
+// few-thousand-entry table.  Lookups compare the full key on a hash hit,
+// so collisions cost a compare, never a wrong answer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace mcs::util {
+
+inline constexpr std::uint64_t kFnv1aOffsetBasis = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ULL;
+
+/// Incremental 64-bit FNV-1a.
+class Fnv1a {
+public:
+  constexpr void update_byte(std::uint8_t byte) noexcept {
+    state_ = (state_ ^ byte) * kFnv1aPrime;
+  }
+
+  constexpr void update(std::uint64_t word) noexcept {
+    for (int shift = 0; shift < 64; shift += 8) {
+      update_byte(static_cast<std::uint8_t>(word >> shift));
+    }
+  }
+
+  constexpr void update(std::int64_t word) noexcept {
+    update(static_cast<std::uint64_t>(word));
+  }
+
+  [[nodiscard]] constexpr std::uint64_t digest() const noexcept { return state_; }
+
+private:
+  std::uint64_t state_ = kFnv1aOffsetBasis;
+};
+
+/// Hash of a flat word sequence (the memoization key representation).
+[[nodiscard]] inline std::uint64_t fnv1a(std::span<const std::int64_t> words) noexcept {
+  Fnv1a h;
+  for (const std::int64_t w : words) h.update(w);
+  return h.digest();
+}
+
+}  // namespace mcs::util

@@ -31,4 +31,13 @@ inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::max() / 4;
   return is_finite(s) ? s : kTimeInfinity;
 }
 
+/// Saturating multiplication for non-negative operands (divergence caps,
+/// horizon arithmetic).
+[[nodiscard]] constexpr Time sat_mul(Time a, Time b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  if (!is_finite(a) || !is_finite(b)) return kTimeInfinity;
+  if (a > kTimeInfinity / b) return kTimeInfinity;
+  return a * b;
+}
+
 }  // namespace mcs::util

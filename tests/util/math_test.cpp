@@ -44,6 +44,14 @@ TEST(Math, HyperPeriod) {
   EXPECT_THROW(hyper_period(std::span<const Time>{}), std::invalid_argument);
 }
 
+TEST(Math, SatMul) {
+  EXPECT_EQ(sat_mul(2, 3), 6);
+  EXPECT_EQ(sat_mul(0, kTimeInfinity), 0);
+  EXPECT_EQ(sat_mul(kTimeInfinity, 3), kTimeInfinity);
+  EXPECT_EQ(sat_mul(4, kTimeInfinity - 1), kTimeInfinity);
+  EXPECT_EQ(sat_mul(4, kTimeInfinity / 5), 4 * (kTimeInfinity / 5));
+}
+
 TEST(Math, SatAdd) {
   EXPECT_EQ(sat_add(2, 3), 5);
   EXPECT_EQ(sat_add(kTimeInfinity, 3), kTimeInfinity);
