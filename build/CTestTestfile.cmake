@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/mcs_arch_tests[1]_include.cmake")
+include("/root/repo/build/mcs_core_tests[1]_include.cmake")
+include("/root/repo/build/mcs_gen_tests[1]_include.cmake")
+include("/root/repo/build/mcs_model_tests[1]_include.cmake")
+include("/root/repo/build/mcs_sched_tests[1]_include.cmake")
+include("/root/repo/build/mcs_sim_tests[1]_include.cmake")
+include("/root/repo/build/mcs_util_tests[1]_include.cmake")
