@@ -9,16 +9,24 @@
 //   MCS_BENCH_SEEDS=N      random instances per dimension   (default 2; paper 30)
 //   MCS_BENCH_SA_EVALS=N   SA evaluation budget per run     (default 250)
 //   MCS_BENCH_SA_MS=N      SA wall-clock budget per run, ms (default 8000)
+//   MCS_BENCH_JOBS=N       campaign worker threads          (default 0 = all cores)
 //   MCS_BENCH_FULL=1       shorthand: seeds=10, evals=4000, ms=120000
+//
+// The Figure 9 benches run through the exp::run_campaign engine, which
+// ignores MCS_BENCH_SA_MS: campaign results are bit-identical for any
+// thread count, and a wall-clock SA budget would break that (DESIGN.md §4).
 #pragma once
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "mcs/core/optimize_resources.hpp"
 #include "mcs/core/simulated_annealing.hpp"
 #include "mcs/core/straightforward.hpp"
+#include "mcs/exp/campaign.hpp"
 
 namespace mcs::bench {
 
@@ -27,6 +35,7 @@ struct Profile {
   int sa_max_evaluations = 250;
   std::int64_t sa_max_ms = 8000;
   int hopa_iterations = 3;
+  std::size_t jobs = 0;  ///< campaign worker threads (0 = hardware cores)
 
   [[nodiscard]] static Profile from_env() {
     Profile p;
@@ -44,7 +53,30 @@ struct Profile {
     if (const char* s = std::getenv("MCS_BENCH_SA_MS")) {
       p.sa_max_ms = std::strtoll(s, nullptr, 10);
     }
+    if (const char* s = std::getenv("MCS_BENCH_JOBS")) {
+      p.jobs = static_cast<std::size_t>(std::strtoul(s, nullptr, 10));
+    }
     return p;
+  }
+
+  /// Campaign spec shared by the Figure 9 benches: this profile's budgets
+  /// (the OR knobs mirror or_options()), sharded over `jobs` workers.
+  [[nodiscard]] exp::CampaignSpec campaign_spec(std::string name, std::string suite,
+                                                std::vector<exp::Strategy> strategies)
+      const {
+    exp::CampaignSpec spec;
+    spec.name = std::move(name);
+    spec.suite = std::move(suite);
+    spec.seeds_per_dim = seeds_per_dim;
+    spec.suite_base_seed = spec.suite == "fig9c" ? 9000 : 1000;
+    spec.strategies = std::move(strategies);
+    spec.budgets.sa_max_evaluations = sa_max_evaluations;
+    spec.budgets.hopa_iterations = hopa_iterations;
+    spec.budgets.or_max_seed_starts = 3;
+    spec.budgets.or_max_climb_iterations = 10;
+    spec.budgets.or_neighbors_per_step = 16;
+    spec.jobs = jobs;
+    return spec;
   }
 
   [[nodiscard]] core::OptimizeScheduleOptions os_options() const {
@@ -72,6 +104,20 @@ struct Profile {
     return o;
   }
 };
+
+/// Writes the campaign's JSON report next to the bench binary (the CI
+/// uploads these as artifacts, like BENCH_eval_throughput.json).
+inline void write_campaign_report(const exp::CampaignResult& result,
+                                  const std::string& path) {
+  std::ofstream out(path);
+  if (out) exp::write_json(result, out);
+  if (!out) {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    return;
+  }
+  std::printf("wrote %s (%zu jobs on %zu workers, %.1f s wall)\n", path.c_str(),
+              result.jobs.size(), result.workers, result.wall_seconds);
+}
 
 class Stopwatch {
 public:

@@ -8,6 +8,10 @@
 // schedulable system — exactly the series the paper plots.  Also reports
 // how many instances SF failed on (paper: 26 of 150).
 //
+// The instances run as one exp::run_campaign sweep sharded over all cores
+// (MCS_BENCH_JOBS to override); the per-instance results are bit-identical
+// for any thread count.  Emits CAMPAIGN_fig9a.json.
+//
 // Expected shape: SF deviates dramatically; OS stays within a modest gap
 // of SAS at a fraction of its run time.
 #include <cstdio>
@@ -15,8 +19,6 @@
 #include <map>
 
 #include "bench_common.hpp"
-#include "mcs/core/degree_of_schedulability.hpp"
-#include "mcs/gen/suites.hpp"
 #include "mcs/util/stats.hpp"
 #include "mcs/util/table.hpp"
 
@@ -24,10 +26,11 @@ using namespace mcs;
 
 int main() {
   const bench::Profile profile = bench::Profile::from_env();
-  const auto suite = gen::figure9ab_suite(profile.seeds_per_dim);
+  const auto result = exp::run_campaign(profile.campaign_spec(
+      "fig9a", "fig9ab", {exp::Strategy::Sf, exp::Strategy::Os, exp::Strategy::Sas}));
   std::printf("Figure 9a: avg %% deviation of delta_Gamma from SAS "
-              "(%zu instances/dimension)\n\n",
-              profile.seeds_per_dim);
+              "(%zu instances/dimension, %zu workers)\n\n",
+              profile.seeds_per_dim, result.workers);
 
   struct Row {
     util::Accumulator dev_sf, dev_os;
@@ -36,48 +39,32 @@ int main() {
   };
   std::map<std::size_t, Row> rows;
 
-  for (const auto& point : suite) {
-    const auto sys = gen::generate(point.params);
-    const core::MoveContext ctx(sys.app, sys.platform, core::McsOptions{});
-    Row& row = rows[point.dimension];
+  for (const exp::JobResult& job : result.jobs) {
+    const exp::StrategyOutcome& sf = job.outcomes[0];
+    const exp::StrategyOutcome& os = job.outcomes[1];
+    const exp::StrategyOutcome& sas = job.outcomes[2];
+    Row& row = rows[job.dimension];
     ++row.instances;
+    row.t_sf.add(sf.seconds);
+    row.t_os.add(os.seconds);
+    row.t_sas.add(sas.seconds);
 
-    bench::Stopwatch sw_sf;
-    const auto sf = core::straightforward(ctx);
-    row.t_sf.add(sw_sf.seconds());
-
-    bench::Stopwatch sw_os;
-    const auto os = core::optimize_schedule(ctx, profile.os_options());
-    row.t_os.add(sw_os.seconds());
-
-    // SAS: annealing on delta, seeded with the best solution known so far
-    // (a budgeted stand-in for the paper's hours-long independent runs).
-    bench::Stopwatch sw_sas;
-    const auto sas = core::simulated_annealing(
-        ctx, os.best,
-        profile.sa_options(core::SaObjective::Schedulability,
-                           1000 + point.params.seed));
-    row.t_sas.add(sw_sas.seconds());
-
-    if (!sf.evaluation.schedulable) ++row.sf_failed;
-    if (!os.best_eval.schedulable) ++row.os_failed;
-    if (sf.evaluation.schedulable && os.best_eval.schedulable &&
-        sas.best_eval.schedulable) {
-      ++row.all_schedulable;
-    }
+    if (!sf.schedulable) ++row.sf_failed;
+    if (!os.schedulable) ++row.os_failed;
+    if (sf.schedulable && os.schedulable && sas.schedulable) ++row.all_schedulable;
     // The paper averages over instances where all algorithms succeed; with
     // small seed counts that intersection can be empty at the hard
     // dimensions, so each deviation is conditioned on its own algorithm
     // (plus SAS) being schedulable.
-    if (sas.best_eval.schedulable) {
-      const double ref = static_cast<double>(sas.best_eval.delta.delta());
-      if (sf.evaluation.schedulable) {
+    if (sas.schedulable) {
+      const double ref = static_cast<double>(sas.delta.delta());
+      if (sf.schedulable) {
         row.dev_sf.add(util::percentage_deviation(
-            static_cast<double>(sf.evaluation.delta.delta()), ref));
+            static_cast<double>(sf.delta.delta()), ref));
       }
-      if (os.best_eval.schedulable) {
+      if (os.schedulable) {
         row.dev_os.add(util::percentage_deviation(
-            static_cast<double>(os.best_eval.delta.delta()), ref));
+            static_cast<double>(os.delta.delta()), ref));
       }
     }
   }
@@ -104,5 +91,6 @@ int main() {
               "(paper: 26 of 150).\n", total_sf_failed, total);
   std::printf("Paper shape: SF deviation >> OS deviation; OS run time orders of "
               "magnitude below SAS at paper-scale budgets.\n");
+  bench::write_campaign_report(result, "CAMPAIGN_fig9a.json");
   return 0;
 }

@@ -1,6 +1,10 @@
 // Figure 9b: total buffer need s_total of OS vs OR vs the near-optimal
 // SAR reference, for 80..400-process systems.
 //
+// Runs as one exp::run_campaign sweep over all cores (MCS_BENCH_JOBS to
+// override); OR's internal OS step supplies the OS column (s_total_before)
+// without paying for a second OS run.  Emits CAMPAIGN_fig9b.json.
+//
 // Expected shape (paper): OR finds schedulable systems with roughly half
 // the buffer need of OS, close to SAR.
 #include <cstdio>
@@ -8,7 +12,6 @@
 #include <map>
 
 #include "bench_common.hpp"
-#include "mcs/gen/suites.hpp"
 #include "mcs/util/stats.hpp"
 #include "mcs/util/table.hpp"
 
@@ -16,10 +19,16 @@ using namespace mcs;
 
 int main() {
   const bench::Profile profile = bench::Profile::from_env();
-  const auto suite = gen::figure9ab_suite(profile.seeds_per_dim);
+  exp::CampaignSpec spec = profile.campaign_spec(
+      "fig9b", "fig9ab", {exp::Strategy::Or, exp::Strategy::Sar});
+  // As in the original harness: don't pay for SAR on instances OR could
+  // not schedule — they are excluded from every series below anyway.
+  spec.anneal_unschedulable_starts = false;
+  const auto result = exp::run_campaign(spec);
   std::printf("Figure 9b: average total buffer size s_total [bytes] "
-              "(%zu instances/dimension, schedulable instances only)\n\n",
-              profile.seeds_per_dim);
+              "(%zu instances/dimension, schedulable instances only, "
+              "%zu workers)\n\n",
+              profile.seeds_per_dim, result.workers);
 
   struct Row {
     util::Accumulator os, orr, sar;
@@ -27,27 +36,17 @@ int main() {
   };
   std::map<std::size_t, Row> rows;
 
-  for (const auto& point : suite) {
-    const auto sys = gen::generate(point.params);
-    const core::MoveContext ctx(sys.app, sys.platform, core::McsOptions{});
-    Row& row = rows[point.dimension];
+  for (const exp::JobResult& job : result.jobs) {
+    const exp::StrategyOutcome& orr = job.outcomes[0];
+    const exp::StrategyOutcome& sar = job.outcomes[1];
+    Row& row = rows[job.dimension];
     ++row.instances;
-
-    // OR runs OS internally as step 1; reuse its metrics for both columns.
-    const auto orr = core::optimize_resources(ctx, profile.or_options());
-    if (!orr.best_eval.schedulable) continue;
-
-    // SAR: annealing on s_total, seeded from OR's best.
-    const auto sar = core::simulated_annealing(
-        ctx, orr.best,
-        profile.sa_options(core::SaObjective::BufferSize, 2000 + point.params.seed));
+    if (!orr.schedulable) continue;
 
     ++row.counted;
     row.os.add(static_cast<double>(orr.s_total_before));
-    row.orr.add(static_cast<double>(orr.best_eval.s_total));
-    row.sar.add(static_cast<double>(sar.best_eval.schedulable
-                                        ? sar.best_eval.s_total
-                                        : orr.best_eval.s_total));
+    row.orr.add(static_cast<double>(orr.s_total));
+    row.sar.add(static_cast<double>(sar.schedulable ? sar.s_total : orr.s_total));
   }
 
   util::Table table({"processes", "instances", "counted", "avg s_total OS [B]",
@@ -68,5 +67,6 @@ int main() {
   table.print(std::cout);
   std::printf("\nPaper shape: OR roughly halves OS's buffer need and tracks SAR "
               "closely.\n");
+  bench::write_campaign_report(result, "CAMPAIGN_fig9b.json");
   return 0;
 }

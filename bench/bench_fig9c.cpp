@@ -3,6 +3,9 @@
 // the average percentage deviation of the s_total obtained by OS and OR
 // from the near-optimal SAR values.
 //
+// Runs as one exp::run_campaign sweep over all cores (MCS_BENCH_JOBS to
+// override).  Emits CAMPAIGN_fig9c.json.
+//
 // Expected shape (paper): the OS curve degrades quickly with the message
 // count while OR stays close to SAR even under intense gateway traffic.
 #include <cstdio>
@@ -10,7 +13,6 @@
 #include <map>
 
 #include "bench_common.hpp"
-#include "mcs/gen/suites.hpp"
 #include "mcs/util/stats.hpp"
 #include "mcs/util/table.hpp"
 
@@ -18,10 +20,16 @@ using namespace mcs;
 
 int main() {
   const bench::Profile profile = bench::Profile::from_env();
-  const auto suite = gen::figure9c_suite(profile.seeds_per_dim);
+  exp::CampaignSpec spec = profile.campaign_spec(
+      "fig9c", "fig9c", {exp::Strategy::Or, exp::Strategy::Sar});
+  // As in the original harness: don't pay for SAR on instances OR could
+  // not schedule — they are excluded from every series below anyway.
+  spec.anneal_unschedulable_starts = false;
+  const auto result = exp::run_campaign(spec);
   std::printf("Figure 9c: avg %% deviation of s_total from SAR vs gateway "
-              "message count (160 processes, %zu instances/point)\n\n",
-              profile.seeds_per_dim);
+              "message count (160 processes, %zu instances/point, "
+              "%zu workers)\n\n",
+              profile.seeds_per_dim, result.workers);
 
   struct Row {
     util::Accumulator dev_os, dev_or;
@@ -30,26 +38,22 @@ int main() {
   };
   std::map<std::size_t, Row> rows;
 
-  for (const auto& point : suite) {
-    const auto sys = gen::generate(point.params);
-    const core::MoveContext ctx(sys.app, sys.platform, core::McsOptions{});
-    Row& row = rows[point.dimension];
+  for (const exp::JobResult& job : result.jobs) {
+    const exp::StrategyOutcome& orr = job.outcomes[0];
+    const exp::StrategyOutcome& sar = job.outcomes[1];
+    Row& row = rows[job.dimension];
     ++row.instances;
-    row.achieved.add(static_cast<double>(sys.inter_cluster_messages));
+    row.achieved.add(static_cast<double>(job.inter_cluster_messages));
 
-    const auto orr = core::optimize_resources(ctx, profile.or_options());
-    if (!orr.best_eval.schedulable) continue;
-    const auto sar = core::simulated_annealing(
-        ctx, orr.best,
-        profile.sa_options(core::SaObjective::BufferSize, 3000 + point.params.seed));
-    const double ref = static_cast<double>(
-        sar.best_eval.schedulable ? sar.best_eval.s_total : orr.best_eval.s_total);
+    if (!orr.schedulable) continue;
+    const double ref =
+        static_cast<double>(sar.schedulable ? sar.s_total : orr.s_total);
     if (ref <= 0) continue;
     ++row.counted;
     row.dev_os.add(
         util::percentage_deviation(static_cast<double>(orr.s_total_before), ref));
-    row.dev_or.add(util::percentage_deviation(
-        static_cast<double>(orr.best_eval.s_total), ref));
+    row.dev_or.add(
+        util::percentage_deviation(static_cast<double>(orr.s_total), ref));
   }
 
   util::Table table({"gateway msgs (target)", "achieved", "instances", "counted",
@@ -65,5 +69,6 @@ int main() {
   table.print(std::cout);
   std::printf("\nPaper shape: the OS deviation grows steeply with the gateway "
               "traffic; OR remains flat and close to SAR.\n");
+  bench::write_campaign_report(result, "CAMPAIGN_fig9c.json");
   return 0;
 }

@@ -19,8 +19,14 @@
 // vectors over processes/messages) which are RESET, not reallocated, on
 // every analysis call, and scratch vectors for the buffer-bound pass.
 //
-// A workspace is single-threaded by design: one search loop, one
-// workspace.  Concurrent searches each build their own.
+// Ownership contract (DESIGN.md §4): a workspace is SINGLE-THREADED by
+// design — one search loop, one workspace, owned by exactly one thread
+// of execution for its whole lifetime.  There is no internal locking,
+// and even const-looking use mutates the reusable State buffers, so a
+// workspace (or the MoveContext owning one) must never be shared across
+// threads.  Concurrent searches each build their own; the campaign
+// engine (src/exp/campaign.hpp) builds one per job on the worker thread
+// that runs it.
 #pragma once
 
 #include <cstdint>

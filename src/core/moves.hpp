@@ -114,7 +114,11 @@ private:
 /// Precomputed immutable context shared by every move/evaluation call.
 /// Owns the per-search AnalysisWorkspace and the evaluation cache (both
 /// mutable behind the const interface; a MoveContext is single-threaded
-/// like the search loops that use it).
+/// like the search loops that use it).  Ownership contract (DESIGN.md
+/// §4): never share a MoveContext — or the workspace/cache it owns —
+/// across threads, even through const references; parallel searches
+/// build one MoveContext per thread of execution, as the campaign
+/// engine does per job.
 class MoveContext {
 public:
   /// `eval_cache_capacity` bounds the memoized-Evaluation count; each

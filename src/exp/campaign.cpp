@@ -1,0 +1,544 @@
+#include "mcs/exp/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "mcs/core/optimize_resources.hpp"
+#include "mcs/core/simulated_annealing.hpp"
+#include "mcs/core/straightforward.hpp"
+#include "mcs/gen/generator.hpp"
+#include "mcs/util/hash.hpp"
+#include "mcs/util/stats.hpp"
+#include "mcs/util/thread_pool.hpp"
+
+namespace mcs::exp {
+
+namespace {
+
+[[nodiscard]] double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+[[nodiscard]] std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+[[nodiscard]] bool parse_bool(const std::string& value, int line) {
+  if (value == "true" || value == "1") return true;
+  if (value == "false" || value == "0") return false;
+  throw std::invalid_argument("campaign spec line " + std::to_string(line) +
+                              ": expected true/false, got '" + value + "'");
+}
+
+[[nodiscard]] std::uint64_t parse_u64(const std::string& value, int line) {
+  // std::stoull would silently wrap negative input to a huge value.
+  if (!value.empty() && value[0] != '-') {
+    try {
+      std::size_t consumed = 0;
+      const std::uint64_t parsed = std::stoull(value, &consumed);
+      if (consumed == value.size()) return parsed;
+    } catch (const std::exception&) {
+    }
+  }
+  throw std::invalid_argument("campaign spec line " + std::to_string(line) +
+                              ": expected a non-negative number, got '" + value +
+                              "'");
+}
+
+/// Narrowing helper for the int-typed budgets (stoull already rejected
+/// negatives; this rejects wrap-around past INT_MAX).
+[[nodiscard]] int parse_int(const std::string& value, int line) {
+  const std::uint64_t parsed = parse_u64(value, line);
+  if (parsed > static_cast<std::uint64_t>(std::numeric_limits<int>::max())) {
+    throw std::invalid_argument("campaign spec line " + std::to_string(line) +
+                                ": value out of range: '" + value + "'");
+  }
+  return static_cast<int>(parsed);
+}
+
+[[nodiscard]] std::vector<Strategy> parse_strategies(const std::string& value,
+                                                     int line) {
+  std::vector<Strategy> strategies;
+  std::stringstream ss(value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item = trim(item);
+    if (item.empty()) continue;
+    try {
+      strategies.push_back(parse_strategy(item));
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("campaign spec line " + std::to_string(line) +
+                                  ": " + e.what());
+    }
+  }
+  if (strategies.empty()) {
+    throw std::invalid_argument("campaign spec line " + std::to_string(line) +
+                                ": empty strategy list");
+  }
+  return strategies;
+}
+
+/// Runs the spec's strategies on one generated instance.  Everything
+/// mutable — the generated system, the MoveContext with its
+/// AnalysisWorkspace and EvaluationCache, the SA RNG — is local to this
+/// call and therefore to the one worker thread executing it.
+[[nodiscard]] JobResult run_job(const CampaignSpec& spec,
+                                const gen::SuitePoint& point,
+                                std::size_t job_index) {
+  const auto job_start = std::chrono::steady_clock::now();
+  JobResult job;
+  job.job_index = job_index;
+  job.dimension = point.dimension;
+  job.replica = point.replica;
+  job.system_seed = point.params.seed;
+
+  const gen::GeneratedSystem sys = gen::generate(point.params);
+  job.processes = sys.app.num_processes();
+  job.messages = sys.app.num_messages();
+  job.inter_cluster_messages = sys.inter_cluster_messages;
+
+  const core::MoveContext ctx(sys.app, sys.platform, spec.mcs_options());
+
+  core::OptimizeScheduleOptions os_options;
+  os_options.hopa.max_iterations = spec.budgets.hopa_iterations;
+  core::OptimizeResourcesOptions or_options;
+  or_options.schedule = os_options;
+  or_options.max_seed_starts = spec.budgets.or_max_seed_starts;
+  or_options.max_climb_iterations = spec.budgets.or_max_climb_iterations;
+  or_options.neighbors_per_step = spec.budgets.or_neighbors_per_step;
+
+  // Annealing starts from the best candidate produced so far (the bench
+  // setup: SAS refines OS, SAR refines OR), falling back to the initial
+  // straightforward genotype when no earlier strategy ran.
+  core::Candidate sa_start = core::Candidate::initial(sys.app, sys.platform);
+
+  for (std::size_t si = 0; si < spec.strategies.size(); ++si) {
+    const Strategy strategy = spec.strategies[si];
+    StrategyOutcome outcome;
+    outcome.strategy = strategy;
+    const auto start = std::chrono::steady_clock::now();
+
+    switch (strategy) {
+      case Strategy::Sf: {
+        const auto sf = core::straightforward(ctx);
+        outcome.schedulable = sf.evaluation.schedulable;
+        outcome.delta = sf.evaluation.delta;
+        outcome.s_total = sf.evaluation.s_total;
+        outcome.evaluations = 1;
+        sa_start = sf.candidate;
+        break;
+      }
+      case Strategy::Os: {
+        const auto os = core::optimize_schedule(ctx, os_options);
+        outcome.schedulable = os.best_eval.schedulable;
+        outcome.delta = os.best_eval.delta;
+        outcome.s_total = os.best_eval.s_total;
+        outcome.evaluations = os.evaluations;
+        sa_start = os.best;
+        break;
+      }
+      case Strategy::Or: {
+        const auto orr = core::optimize_resources(ctx, or_options);
+        outcome.schedulable = orr.best_eval.schedulable;
+        outcome.delta = orr.best_eval.delta;
+        outcome.s_total = orr.best_eval.s_total;
+        outcome.s_total_before = orr.s_total_before;
+        outcome.evaluations = orr.evaluations;
+        sa_start = orr.best;
+        break;
+      }
+      case Strategy::Sas:
+      case Strategy::Sar: {
+        // Optionally skip the expensive annealing when the strategy it
+        // refines already failed (the Figure 9b/9c setup).  Conditioned
+        // only on the previous outcome's deterministic fields.
+        if (!spec.anneal_unschedulable_starts && !job.outcomes.empty() &&
+            !job.outcomes.back().schedulable) {
+          outcome.skipped = true;
+          break;
+        }
+        core::SaOptions sa;
+        sa.objective = strategy == Strategy::Sas ? core::SaObjective::Schedulability
+                                                 : core::SaObjective::BufferSize;
+        sa.max_evaluations = spec.budgets.sa_max_evaluations;
+        // No wall-clock budget: a time limit would make the trajectory —
+        // and thus the result — depend on machine load (DESIGN.md §4).
+        sa.max_milliseconds = 0;
+        sa.seed = derive_seed(spec.campaign_seed, job_index, si);
+        const auto sar = core::simulated_annealing(ctx, sa_start, sa);
+        outcome.schedulable = sar.best_eval.schedulable;
+        outcome.delta = sar.best_eval.delta;
+        outcome.s_total = sar.best_eval.s_total;
+        outcome.evaluations = sar.evaluations;
+        break;
+      }
+    }
+
+    outcome.seconds = seconds_since(start);
+    job.outcomes.push_back(outcome);
+  }
+
+  job.seconds = seconds_since(job_start);
+  return job;
+}
+
+/// The deviation metric a strategy is compared on: buffer campaigns (SAR
+/// reference) compare s_total, schedulability campaigns (SAS) delta.
+[[nodiscard]] double metric_of(const StrategyOutcome& outcome, Strategy reference) {
+  return reference == Strategy::Sar ? static_cast<double>(outcome.s_total)
+                                    : static_cast<double>(outcome.delta.delta());
+}
+
+/// Index into spec.strategies of the annealing reference, or npos.
+[[nodiscard]] std::size_t reference_index(const std::vector<Strategy>& strategies) {
+  for (std::size_t i = strategies.size(); i > 0; --i) {
+    if (strategies[i - 1] == Strategy::Sas || strategies[i - 1] == Strategy::Sar) {
+      return i - 1;
+    }
+  }
+  return std::string::npos;
+}
+
+void update_signature(util::Fnv1a& h, const JobResult& job) {
+  h.update(static_cast<std::uint64_t>(job.job_index));
+  h.update(static_cast<std::uint64_t>(job.dimension));
+  h.update(static_cast<std::uint64_t>(job.replica));
+  h.update(job.system_seed);
+  h.update(static_cast<std::uint64_t>(job.processes));
+  h.update(static_cast<std::uint64_t>(job.messages));
+  h.update(static_cast<std::uint64_t>(job.inter_cluster_messages));
+  for (const StrategyOutcome& o : job.outcomes) {
+    h.update(static_cast<std::uint64_t>(o.strategy));
+    h.update(static_cast<std::uint64_t>(o.schedulable ? 1 : 0));
+    h.update(static_cast<std::uint64_t>(o.skipped ? 1 : 0));
+    h.update(static_cast<std::int64_t>(o.delta.f1));
+    h.update(static_cast<std::int64_t>(o.delta.f2));
+    h.update(o.s_total);
+    h.update(o.s_total_before);
+    h.update(static_cast<std::int64_t>(o.evaluations));
+  }
+}
+
+/// Minimal JSON string escaping for the user-controlled spec fields.
+[[nodiscard]] std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// RFC-4180 quoting for the one free-text CSV column (the campaign name).
+[[nodiscard]] std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string to_string(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::Sf: return "sf";
+    case Strategy::Os: return "os";
+    case Strategy::Or: return "or";
+    case Strategy::Sas: return "sas";
+    case Strategy::Sar: return "sar";
+  }
+  return "?";
+}
+
+Strategy parse_strategy(const std::string& name) {
+  if (name == "sf") return Strategy::Sf;
+  if (name == "os") return Strategy::Os;
+  if (name == "or") return Strategy::Or;
+  if (name == "sas") return Strategy::Sas;
+  if (name == "sar") return Strategy::Sar;
+  throw std::invalid_argument("unknown strategy '" + name +
+                              "' (expected sf, os, or, sas or sar)");
+}
+
+core::McsOptions CampaignSpec::mcs_options() const {
+  core::McsOptions options;
+  options.analysis.offset_pruning = !conservative;
+  options.analysis.ttp_queue_model =
+      paper_ttp ? core::TtpQueueModel::PaperFormula : core::TtpQueueModel::Exact;
+  return options;
+}
+
+CampaignSpec parse_campaign_spec(std::istream& in) {
+  CampaignSpec spec;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("campaign spec line " + std::to_string(line_no) +
+                                  ": expected 'key = value', got '" + line + "'");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+
+    if (key == "name") {
+      spec.name = value;
+    } else if (key == "suite") {
+      spec.suite = value;
+    } else if (key == "seeds_per_dim") {
+      spec.seeds_per_dim = static_cast<std::size_t>(parse_u64(value, line_no));
+    } else if (key == "suite_base_seed") {
+      spec.suite_base_seed = parse_u64(value, line_no);
+    } else if (key == "campaign_seed") {
+      spec.campaign_seed = parse_u64(value, line_no);
+    } else if (key == "strategies") {
+      spec.strategies = parse_strategies(value, line_no);
+    } else if (key == "conservative") {
+      spec.conservative = parse_bool(value, line_no);
+    } else if (key == "paper_ttp") {
+      spec.paper_ttp = parse_bool(value, line_no);
+    } else if (key == "anneal_unschedulable_starts") {
+      spec.anneal_unschedulable_starts = parse_bool(value, line_no);
+    } else if (key == "jobs") {
+      spec.jobs = static_cast<std::size_t>(parse_u64(value, line_no));
+    } else if (key == "sa_max_evaluations") {
+      spec.budgets.sa_max_evaluations = parse_int(value, line_no);
+    } else if (key == "hopa_iterations") {
+      spec.budgets.hopa_iterations = parse_int(value, line_no);
+    } else if (key == "or_max_seed_starts") {
+      spec.budgets.or_max_seed_starts =
+          static_cast<std::size_t>(parse_u64(value, line_no));
+    } else if (key == "or_max_climb_iterations") {
+      spec.budgets.or_max_climb_iterations = parse_int(value, line_no);
+    } else if (key == "or_neighbors_per_step") {
+      spec.budgets.or_neighbors_per_step =
+          static_cast<std::size_t>(parse_u64(value, line_no));
+    } else {
+      throw std::invalid_argument("campaign spec line " + std::to_string(line_no) +
+                                  ": unknown key '" + key + "'");
+    }
+  }
+  return spec;
+}
+
+CampaignSpec parse_campaign_spec_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open campaign spec: " + path);
+  return parse_campaign_spec(in);
+}
+
+std::uint64_t derive_seed(std::uint64_t campaign_seed, std::size_t job_index,
+                          std::size_t strategy_index) {
+  util::Fnv1a h;
+  h.update(campaign_seed);
+  h.update(static_cast<std::uint64_t>(job_index));
+  h.update(static_cast<std::uint64_t>(strategy_index));
+  return h.digest();
+}
+
+std::uint64_t JobResult::signature() const {
+  util::Fnv1a h;
+  update_signature(h, *this);
+  return h.digest();
+}
+
+std::uint64_t CampaignResult::signature() const {
+  util::Fnv1a h;
+  for (const JobResult& job : jobs) update_signature(h, job);
+  return h.digest();
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto suite =
+      gen::suite_by_name(spec.suite, spec.seeds_per_dim, spec.suite_base_seed);
+
+  CampaignResult result;
+  result.spec = spec;
+  result.jobs.resize(suite.size());
+
+  // More workers than jobs is pure spawn overhead (and an absurd spec
+  // value like jobs=10^9 must not reserve a thread vector that size).
+  const std::size_t requested =
+      spec.jobs == 0 ? util::ThreadPool::default_workers() : spec.jobs;
+  util::ThreadPool pool(std::min(requested, std::max<std::size_t>(1, suite.size())));
+  result.workers = pool.size();
+  pool.parallel_for(suite.size(), [&](std::size_t i) {
+    result.jobs[i] = run_job(spec, suite[i], i);
+  });
+
+  result.wall_seconds = seconds_since(start);
+  return result;
+}
+
+util::Table CampaignResult::summary_table() const {
+  const std::size_t ref = reference_index(spec.strategies);
+
+  std::vector<std::string> header = {"dimension", "instances"};
+  for (std::size_t si = 0; si < spec.strategies.size(); ++si) {
+    const std::string name = to_string(spec.strategies[si]);
+    header.push_back(name + " sched");
+    header.push_back(name + " avg delta");
+    header.push_back(name + " avg s_total");
+    if (ref != std::string::npos && si != ref) header.push_back(name + " dev%");
+  }
+
+  struct Cell {
+    int schedulable = 0;
+    util::Accumulator delta, s_total, deviation;
+  };
+  std::map<std::size_t, std::vector<Cell>> by_dimension;
+  std::map<std::size_t, int> instances;
+
+  for (const JobResult& job : jobs) {
+    auto& cells = by_dimension[job.dimension];
+    cells.resize(spec.strategies.size());
+    ++instances[job.dimension];
+    for (std::size_t si = 0; si < job.outcomes.size(); ++si) {
+      const StrategyOutcome& o = job.outcomes[si];
+      Cell& cell = cells[si];
+      if (!o.schedulable) continue;
+      ++cell.schedulable;
+      cell.delta.add(static_cast<double>(o.delta.delta()));
+      cell.s_total.add(static_cast<double>(o.s_total));
+      if (ref != std::string::npos && si != ref &&
+          job.outcomes[ref].schedulable) {
+        const Strategy reference = spec.strategies[ref];
+        cell.deviation.add(util::percentage_deviation(
+            metric_of(o, reference), metric_of(job.outcomes[ref], reference)));
+      }
+    }
+  }
+
+  util::Table table(header);
+  for (const auto& [dimension, cells] : by_dimension) {
+    std::vector<std::string> row = {
+        util::Table::fmt(static_cast<std::int64_t>(dimension)),
+        util::Table::fmt(static_cast<std::int64_t>(instances.at(dimension)))};
+    for (std::size_t si = 0; si < cells.size(); ++si) {
+      const Cell& cell = cells[si];
+      row.push_back(util::Table::fmt(static_cast<std::int64_t>(cell.schedulable)));
+      row.push_back(cell.delta.count() ? util::Table::fmt(cell.delta.mean(), 1) : "-");
+      row.push_back(cell.s_total.count() ? util::Table::fmt(cell.s_total.mean(), 0)
+                                         : "-");
+      if (ref != std::string::npos && si != ref) {
+        row.push_back(cell.deviation.count()
+                          ? util::Table::fmt(cell.deviation.mean(), 1)
+                          : "-");
+      }
+    }
+    table.add_row(row);
+  }
+  return table;
+}
+
+void write_json(const CampaignResult& result, std::ostream& out) {
+  const CampaignSpec& spec = result.spec;
+  out << "{\n  \"campaign\": \"" << json_escape(spec.name) << "\",\n"
+      << "  \"suite\": \"" << json_escape(spec.suite) << "\",\n"
+      << "  \"seeds_per_dim\": " << spec.seeds_per_dim << ",\n"
+      << "  \"campaign_seed\": " << spec.campaign_seed << ",\n"
+      << "  \"strategies\": [";
+  for (std::size_t i = 0; i < spec.strategies.size(); ++i) {
+    out << (i ? ", " : "") << "\"" << to_string(spec.strategies[i]) << "\"";
+  }
+  out << "],\n  \"workers\": " << result.workers << ",\n"
+      << "  \"wall_seconds\": " << result.wall_seconds << ",\n";
+  char sig[32];
+  std::snprintf(sig, sizeof sig, "%016llx",
+                static_cast<unsigned long long>(result.signature()));
+  out << "  \"signature\": \"" << sig << "\",\n";
+
+  // Campaign-wide runtime percentiles per strategy (wall clock, thus the
+  // one section that legitimately varies between runs).
+  out << "  \"runtime_percentiles\": {\n";
+  for (std::size_t si = 0; si < spec.strategies.size(); ++si) {
+    std::vector<double> seconds;
+    for (const JobResult& job : result.jobs) {
+      if (si < job.outcomes.size()) seconds.push_back(job.outcomes[si].seconds);
+    }
+    // util::percentile throws on empty input (zero-job campaigns).
+    const auto pct = [&seconds](double p) {
+      return seconds.empty() ? 0.0 : util::percentile(seconds, p);
+    };
+    out << "    \"" << to_string(spec.strategies[si]) << "\": {\"p50\": "
+        << pct(50) << ", \"p90\": " << pct(90) << ", \"max\": " << pct(100)
+        << "}" << (si + 1 < spec.strategies.size() ? "," : "") << "\n";
+  }
+  out << "  },\n  \"jobs\": [\n";
+
+  for (std::size_t ji = 0; ji < result.jobs.size(); ++ji) {
+    const JobResult& job = result.jobs[ji];
+    out << "    {\"job\": " << job.job_index << ", \"dimension\": "
+        << job.dimension << ", \"replica\": " << job.replica
+        << ", \"system_seed\": " << job.system_seed << ", \"processes\": "
+        << job.processes << ", \"messages\": " << job.messages
+        << ", \"inter_cluster_messages\": " << job.inter_cluster_messages
+        << ", \"seconds\": " << job.seconds << ",\n     \"outcomes\": [";
+    for (std::size_t si = 0; si < job.outcomes.size(); ++si) {
+      const StrategyOutcome& o = job.outcomes[si];
+      out << (si ? ",\n       " : "\n       ") << "{\"strategy\": \""
+          << to_string(o.strategy) << "\", \"schedulable\": "
+          << (o.schedulable ? "true" : "false") << ", \"skipped\": "
+          << (o.skipped ? "true" : "false") << ", \"delta_f1\": "
+          << o.delta.f1 << ", \"delta_f2\": " << o.delta.f2
+          << ", \"s_total\": " << o.s_total << ", \"s_total_before\": "
+          << o.s_total_before << ", \"evaluations\": " << o.evaluations
+          << ", \"seconds\": " << o.seconds << "}";
+    }
+    out << "]}" << (ji + 1 < result.jobs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+void write_csv(const CampaignResult& result, std::ostream& out) {
+  out << "campaign,job,dimension,replica,system_seed,processes,messages,"
+         "inter_cluster_messages,strategy,schedulable,skipped,delta_f1,"
+         "delta_f2,s_total,s_total_before,evaluations,seconds\n";
+  const std::string name = csv_escape(result.spec.name);
+  for (const JobResult& job : result.jobs) {
+    for (const StrategyOutcome& o : job.outcomes) {
+      out << name << ',' << job.job_index << ',' << job.dimension
+          << ',' << job.replica << ',' << job.system_seed << ',' << job.processes
+          << ',' << job.messages << ',' << job.inter_cluster_messages << ','
+          << to_string(o.strategy) << ',' << (o.schedulable ? 1 : 0) << ','
+          << (o.skipped ? 1 : 0) << ',' << o.delta.f1 << ',' << o.delta.f2 << ',' << o.s_total << ','
+          << o.s_total_before << ',' << o.evaluations << ',' << o.seconds
+          << '\n';
+    }
+  }
+}
+
+}  // namespace mcs::exp

@@ -1,0 +1,164 @@
+// Parallel campaign engine — the paper's §6 evaluation as a declarative,
+// thread-pooled sweep.
+//
+// A campaign is "suite × strategies × seeds": a generator suite (the
+// Figure 9 grids or the tiny smoke grid) enumerates system instances, and
+// every instance is one JOB that runs the requested strategies in order
+// (SF, OS, OR, and the annealing references SAS/SAR) and records their
+// verdict, degree of schedulability, buffer need and run time.  Jobs are
+// sharded across a util::ThreadPool and aggregated into per-dimension
+// series (schedulable fraction, deviation from the annealing reference,
+// delta/s_total averages) plus campaign-wide runtime percentiles, written
+// as a plain-text table, JSON and CSV.
+//
+// Concurrency & determinism contract (DESIGN.md §4):
+//
+//   * Each job builds its OWN core::MoveContext — and therefore its own
+//     AnalysisWorkspace and EvaluationCache — on the worker thread that
+//     runs it.  Those objects are mutable and single-threaded by design
+//     and are NEVER shared across jobs or threads.
+//   * Every stochastic component inside a job draws from a seed derived
+//     as FNV-1a(campaign_seed, job_index, strategy_index) — a pure
+//     function of the spec, independent of scheduling order.
+//   * Jobs write into preassigned result slots (results[job_index]).
+//
+// Together these make every deterministic field of the result — everything
+// except wall-clock times — bit-identical for any `jobs` value, which
+// tests/exp/campaign_test.cpp asserts (jobs=1 vs jobs=4) and
+// CampaignResult::signature() digests.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mcs/core/degree_of_schedulability.hpp"
+#include "mcs/core/multi_cluster_scheduling.hpp"
+#include "mcs/gen/suites.hpp"
+#include "mcs/util/table.hpp"
+
+namespace mcs::exp {
+
+/// The synthesis strategies a campaign can run per instance (paper §6
+/// nomenclature).  SAS/SAR seed their annealing from the best candidate
+/// an earlier OS/OR strategy produced, mirroring the benchmark setup.
+enum class Strategy { Sf, Os, Or, Sas, Sar };
+
+[[nodiscard]] std::string to_string(Strategy strategy);
+/// Parses "sf" | "os" | "or" | "sas" | "sar" (throws std::invalid_argument).
+[[nodiscard]] Strategy parse_strategy(const std::string& name);
+
+/// Search budgets (the defaults match bench_common.hpp's laptop profile).
+struct CampaignBudgets {
+  int sa_max_evaluations = 250;
+  int hopa_iterations = 3;
+  std::size_t or_max_seed_starts = 3;
+  int or_max_climb_iterations = 10;
+  std::size_t or_neighbors_per_step = 16;
+};
+
+/// Declarative description of one campaign.  Everything that influences a
+/// deterministic result field lives here; `jobs` only controls sharding.
+struct CampaignSpec {
+  std::string name = "campaign";
+  std::string suite = "tiny";  ///< gen::suite_by_name: fig9ab | fig9c | tiny
+  std::size_t seeds_per_dim = 2;
+  std::uint64_t suite_base_seed = 1000;  ///< generator seed grid origin
+  std::uint64_t campaign_seed = 1;       ///< root of the per-job RNG streams
+  std::vector<Strategy> strategies = {Strategy::Sf, Strategy::Os, Strategy::Sas};
+  bool conservative = false;  ///< disable offset/precedence pruning
+  bool paper_ttp = false;     ///< closed-form OutTTP model
+  /// When false, SAS/SAR is skipped (outcome.skipped = true) on jobs
+  /// whose preceding strategy was unschedulable — the Figure 9b/9c
+  /// benches' behavior, saving the full SA budget on hopeless instances.
+  /// The skip decision reads only deterministic fields, so thread-count
+  /// invariance is preserved.
+  bool anneal_unschedulable_starts = true;
+  CampaignBudgets budgets;
+  std::size_t jobs = 1;  ///< worker threads (0 = one per hardware core)
+
+  [[nodiscard]] core::McsOptions mcs_options() const;
+};
+
+/// Parses the line-based `key = value` spec format ('#' starts a comment):
+///
+///   name       = fig9a-repro        suite          = fig9ab
+///   seeds_per_dim = 10              suite_base_seed = 1000
+///   campaign_seed = 1               strategies     = sf, os, sas
+///   jobs       = 4                  conservative   = false
+///   paper_ttp  = false              sa_max_evaluations = 250
+///   hopa_iterations = 3             or_max_seed_starts = 3
+///   or_max_climb_iterations = 10    or_neighbors_per_step = 16
+///
+/// Unknown keys throw std::invalid_argument with the line number.
+[[nodiscard]] CampaignSpec parse_campaign_spec(std::istream& in);
+[[nodiscard]] CampaignSpec parse_campaign_spec_file(const std::string& path);
+
+/// One strategy's outcome on one instance.  `seconds` is wall clock and is
+/// the only field excluded from the determinism signature.
+struct StrategyOutcome {
+  Strategy strategy = Strategy::Sf;
+  bool schedulable = false;
+  /// True when the strategy did not run (annealing on an unschedulable
+  /// start with anneal_unschedulable_starts = false); all other fields
+  /// are zero then.
+  bool skipped = false;
+  core::Schedulability delta;
+  std::int64_t s_total = 0;
+  /// OR only: the buffer need after its internal OS step (the paper's
+  /// Figure 9b/9c "OS" series without paying for a second OS run).
+  std::int64_t s_total_before = 0;
+  int evaluations = 0;
+  double seconds = 0.0;
+};
+
+/// One instance: the generated system plus every strategy outcome.
+struct JobResult {
+  std::size_t job_index = 0;
+  std::size_t dimension = 0;  ///< suite dimension (processes or gw messages)
+  std::size_t replica = 0;
+  std::uint64_t system_seed = 0;
+  std::size_t processes = 0;
+  std::size_t messages = 0;
+  std::size_t inter_cluster_messages = 0;
+  std::vector<StrategyOutcome> outcomes;
+  double seconds = 0.0;
+
+  /// FNV-1a over every deterministic field (wall-clock times excluded).
+  [[nodiscard]] std::uint64_t signature() const;
+};
+
+struct CampaignResult {
+  CampaignSpec spec;
+  std::vector<JobResult> jobs;  ///< indexed by job_index (= suite order)
+  std::size_t workers = 1;      ///< resolved thread count actually used
+  double wall_seconds = 0.0;
+
+  /// Combined determinism digest: equal across runs with any `spec.jobs`.
+  [[nodiscard]] std::uint64_t signature() const;
+
+  /// Per-dimension summary table: instances, and per strategy the
+  /// schedulable count, average delta and s_total over schedulable
+  /// instances, and average % deviation of delta (or s_total for
+  /// OR/SAR-style buffer campaigns) from the last annealing strategy.
+  [[nodiscard]] util::Table summary_table() const;
+};
+
+/// Runs the campaign on `spec.jobs` worker threads.  Results are
+/// bit-identical (per JobResult::signature) for any thread count.
+[[nodiscard]] CampaignResult run_campaign(const CampaignSpec& spec);
+
+/// Machine-readable reports next to the summary table.
+void write_json(const CampaignResult& result, std::ostream& out);
+void write_csv(const CampaignResult& result, std::ostream& out);
+
+/// The seed the campaign hands a stochastic strategy in a given job —
+/// FNV-1a(campaign_seed, job_index, strategy_index).  Exposed so tests
+/// can assert stream independence.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t campaign_seed,
+                                        std::size_t job_index,
+                                        std::size_t strategy_index);
+
+}  // namespace mcs::exp

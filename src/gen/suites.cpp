@@ -1,5 +1,7 @@
 #include "mcs/gen/suites.hpp"
 
+#include <stdexcept>
+
 namespace mcs::gen {
 
 std::vector<SuitePoint> figure9ab_suite(std::size_t seeds_per_dim,
@@ -50,6 +52,40 @@ std::vector<SuitePoint> figure9c_suite(std::size_t seeds_per_point,
     }
   }
   return suite;
+}
+
+std::vector<SuitePoint> tiny_suite(std::size_t seeds_per_dim,
+                                   std::uint64_t base_seed) {
+  std::vector<SuitePoint> suite;
+  for (const std::size_t nodes : {2u, 4u}) {
+    for (std::size_t replica = 0; replica < seeds_per_dim; ++replica) {
+      GeneratorParams p;
+      p.tt_nodes = nodes / 2;
+      p.et_nodes = nodes / 2;
+      p.processes_per_node = 6;
+      p.processes_per_graph = 6;
+      p.target_inter_cluster_messages = 2 * (nodes / 2);
+      p.wcet_distribution = (replica % 2 == 0) ? WcetDistribution::Uniform
+                                               : WcetDistribution::Exponential;
+      p.seed = base_seed + nodes * 17 + replica;
+      SuitePoint point;
+      point.params = p;
+      point.dimension = nodes * 6;  // processes
+      point.replica = replica;
+      suite.push_back(point);
+    }
+  }
+  return suite;
+}
+
+std::vector<SuitePoint> suite_by_name(const std::string& name,
+                                      std::size_t seeds_per_dim,
+                                      std::uint64_t base_seed) {
+  if (name == "fig9ab") return figure9ab_suite(seeds_per_dim, base_seed);
+  if (name == "fig9c") return figure9c_suite(seeds_per_dim, base_seed);
+  if (name == "tiny") return tiny_suite(seeds_per_dim, base_seed);
+  throw std::invalid_argument("unknown suite '" + name +
+                              "' (expected fig9ab, fig9c or tiny)");
 }
 
 }  // namespace mcs::gen

@@ -10,6 +10,7 @@
 //    50 inter-cluster messages.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "mcs/gen/generator.hpp"
@@ -30,5 +31,17 @@ struct SuitePoint {
 /// 9c grid: 160 processes, target inter-cluster messages in {10..50}.
 [[nodiscard]] std::vector<SuitePoint> figure9c_suite(std::size_t seeds_per_point,
                                                      std::uint64_t base_seed = 9000);
+
+/// Miniature grid for smoke tests and CI: two-cluster systems of 2 and 4
+/// nodes with 6 processes per node — the same shape as Figure 9a/b but
+/// each instance synthesizes in milliseconds.
+[[nodiscard]] std::vector<SuitePoint> tiny_suite(std::size_t seeds_per_dim,
+                                                 std::uint64_t base_seed = 500);
+
+/// Suite lookup used by the campaign spec format: "fig9ab", "fig9c" or
+/// "tiny".  Throws std::invalid_argument on an unknown name.
+[[nodiscard]] std::vector<SuitePoint> suite_by_name(const std::string& name,
+                                                    std::size_t seeds_per_dim,
+                                                    std::uint64_t base_seed);
 
 }  // namespace mcs::gen

@@ -15,7 +15,7 @@
 //   deadline <process> <local_deadline>
 //
 // Declarations may appear in any order as long as referenced entities are
-// declared first.  See examples/cruise.mcs for a complete file.
+// declared first.  See examples/paper_example.mcs for a complete file.
 #pragma once
 
 #include <iosfwd>

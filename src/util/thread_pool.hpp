@@ -1,0 +1,86 @@
+// Fixed-size thread pool for the experiment harnesses.
+//
+// The campaign engine (src/exp/campaign.hpp) shards independent synthesis
+// jobs across cores.  The pool is deliberately small and strict:
+//
+//   * a fixed set of worker threads created up front (no growth, no
+//     work stealing between pools — jobs are coarse: seconds each),
+//   * submit() enqueues one task; wait_idle() blocks until the queue has
+//     drained AND every worker is idle, then rethrows the first exception
+//     any task raised (subsequent exceptions are swallowed — one failure
+//     already fails the run),
+//   * parallel_for(count, body) runs body(0..count-1), each index at most
+//     once and — when no body throws — exactly once, work distributed
+//     dynamically via an atomic cursor.  A throwing body abandons the
+//     rest of its shard, so after a propagated exception some indices may
+//     never have run; treat the whole parallel_for as failed.
+//
+// Determinism contract: the pool makes NO ordering promises — tasks run in
+// whatever order workers pick them up.  Callers that need reproducible
+// output must make every task independent (own RNG stream, own mutable
+// state) and write into a preassigned slot, the way exp::run_campaign
+// does.  See DESIGN.md §4.
+//
+// A ThreadPool object itself is externally synchronized: submit/
+// parallel_for/wait_idle may be called from one controlling thread only
+// (tasks, of course, run on the workers).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mcs::util {
+
+class ThreadPool {
+public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains outstanding work (as if by wait_idle, but exceptions are
+  /// dropped — destructors must not throw), then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues one task for execution on some worker.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.  If any
+  /// task threw since the last wait_idle(), rethrows the first such
+  /// exception (all other queued tasks still ran).
+  void wait_idle();
+
+  /// Runs body(i) for i in [0, count), each at most once — exactly once
+  /// when no invocation throws — sharded dynamically across the workers;
+  /// equivalent to a plain loop when the pool has one thread.  Blocks
+  /// until done; rethrows the first exception thrown by any invocation,
+  /// after which the run must be treated as failed wholesale (a throwing
+  /// body abandons the unclaimed remainder of its shard).
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+  /// Reasonable default worker count: hardware_concurrency, at least 1.
+  [[nodiscard]] static std::size_t default_workers();
+
+private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;          ///< tasks currently executing
+  std::exception_ptr first_error_;  ///< first task exception since last wait
+  bool stopping_ = false;
+};
+
+}  // namespace mcs::util

@@ -1,5 +1,7 @@
 // mcs_synth — command-line synthesis driver.
 //
+// Single-system mode:
+//
 //   mcs_synth <system.mcs> [options]
 //
 //   --strategy sf|os|or     synthesis strategy (default: or)
@@ -11,16 +13,32 @@
 //   --dump-config           print the synthesized configuration (slots,
 //                           priorities, schedule table)
 //
+// Campaign mode (parallel multi-seed/multi-suite sweeps, see
+// src/exp/campaign.hpp and DESIGN.md §4):
+//
+//   mcs_synth --campaign <spec> [--jobs N] [--report-json F] [--report-csv F]
+//
+//   --campaign <spec>       run the campaign described by the key=value
+//                           spec file (examples/tiny.campaign is a sample)
+//   --jobs N                worker threads (overrides the spec; 0 = one
+//                           per hardware core)
+//   --report-json <file>    write the full per-job JSON report
+//   --report-csv <file>     write the per-(job, strategy) CSV report
+//
 // Reads a plain-text system description (see src/gen/textio.hpp for the
-// grammar and examples/example_system.mcs for a sample), synthesizes a
+// grammar and examples/paper_example.mcs for a sample), synthesizes a
 // configuration and prints the schedulability verdict, per-graph response
 // times and worst-case buffer needs.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "mcs/core/optimize_resources.hpp"
 #include "mcs/core/straightforward.hpp"
+#include "mcs/exp/campaign.hpp"
 #include "mcs/gen/textio.hpp"
 #include "mcs/model/validation.hpp"
 #include "mcs/sim/simulator.hpp"
@@ -38,19 +56,46 @@ struct Options {
   bool simulate = false;
   bool trace = false;
   bool dump_config = false;
+  std::string campaign;  ///< spec path; non-empty selects campaign mode
+  std::optional<std::size_t> jobs;
+  std::string report_json;
+  std::string report_csv;
 };
 
 void usage() {
   std::fprintf(stderr,
                "usage: mcs_synth <system.mcs> [--strategy sf|os|or] "
                "[--conservative] [--paper-ttp] [--simulate] [--trace] "
-               "[--dump-config]\n");
+               "[--dump-config]\n"
+               "       mcs_synth --campaign <spec> [--jobs N] "
+               "[--report-json <file>] [--report-csv <file>]\n");
 }
 
 bool parse_args(int argc, char** argv, Options& options) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--strategy") {
+    if (arg == "--campaign") {
+      if (++i >= argc) return false;
+      options.campaign = argv[i];
+    } else if (arg == "--jobs") {
+      if (++i >= argc) return false;
+      char* end = nullptr;
+      const unsigned long jobs = std::strtoul(argv[i], &end, 10);
+      // Reject garbage, negatives and absurd counts instead of silently
+      // wrapping ("-1") or defaulting to all cores ("abc" -> 0).
+      if (end == argv[i] || *end != '\0' || argv[i][0] == '-' || jobs > 4096) {
+        std::fprintf(stderr, "error: --jobs expects a count in 0..4096, got '%s'\n",
+                     argv[i]);
+        return false;
+      }
+      options.jobs = static_cast<std::size_t>(jobs);
+    } else if (arg == "--report-json") {
+      if (++i >= argc) return false;
+      options.report_json = argv[i];
+    } else if (arg == "--report-csv") {
+      if (++i >= argc) return false;
+      options.report_csv = argv[i];
+    } else if (arg == "--strategy") {
       if (++i >= argc) return false;
       options.strategy = argv[i];
       if (options.strategy != "sf" && options.strategy != "os" &&
@@ -76,7 +121,42 @@ bool parse_args(int argc, char** argv, Options& options) {
       return false;
     }
   }
-  return !options.path.empty();
+  // Exactly one mode: a system file or a campaign spec.
+  return options.path.empty() != options.campaign.empty();
+}
+
+int run_campaign_mode(const Options& options) {
+  exp::CampaignSpec spec = exp::parse_campaign_spec_file(options.campaign);
+  if (options.jobs) spec.jobs = *options.jobs;
+
+  const exp::CampaignResult result = exp::run_campaign(spec);
+
+  std::printf("campaign %s: suite %s, %zu jobs on %zu worker(s), %.2f s\n\n",
+              spec.name.c_str(), spec.suite.c_str(), result.jobs.size(),
+              result.workers, result.wall_seconds);
+  result.summary_table().print(std::cout);
+  std::printf("\nsignature: %016llx (thread-count invariant)\n",
+              static_cast<unsigned long long>(result.signature()));
+
+  if (!options.report_json.empty()) {
+    std::ofstream out(options.report_json);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", options.report_json.c_str());
+      return 1;
+    }
+    exp::write_json(result, out);
+    std::printf("wrote %s\n", options.report_json.c_str());
+  }
+  if (!options.report_csv.empty()) {
+    std::ofstream out(options.report_csv);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", options.report_csv.c_str());
+      return 1;
+    }
+    exp::write_csv(result, out);
+    std::printf("wrote %s\n", options.report_csv.c_str());
+  }
+  return 0;
 }
 
 void report(const gen::ParsedSystem& sys, const core::Candidate& candidate,
@@ -171,6 +251,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
+    if (!options.campaign.empty()) return run_campaign_mode(options);
+
     const gen::ParsedSystem sys = gen::parse_system_file(options.path);
     const auto validation = model::validate(sys.app, sys.platform);
     if (!validation.ok()) {
