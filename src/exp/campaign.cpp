@@ -13,6 +13,7 @@
 #include "mcs/core/straightforward.hpp"
 #include "mcs/gen/generator.hpp"
 #include "mcs/util/hash.hpp"
+#include "mcs/util/kv_parse.hpp"
 #include "mcs/util/stats.hpp"
 #include "mcs/util/thread_pool.hpp"
 
@@ -20,69 +21,21 @@ namespace mcs::exp {
 
 namespace {
 
+constexpr const char* kSpecContext = "campaign spec";
+
 [[nodiscard]] double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
       .count();
 }
 
-[[nodiscard]] std::string trim(const std::string& s) {
-  const auto begin = s.find_first_not_of(" \t\r");
-  if (begin == std::string::npos) return "";
-  const auto end = s.find_last_not_of(" \t\r");
-  return s.substr(begin, end - begin + 1);
-}
-
-[[nodiscard]] bool parse_bool(const std::string& value, int line) {
-  if (value == "true" || value == "1") return true;
-  if (value == "false" || value == "0") return false;
-  throw std::invalid_argument("campaign spec line " + std::to_string(line) +
-                              ": expected true/false, got '" + value + "'");
-}
-
-[[nodiscard]] std::uint64_t parse_u64(const std::string& value, int line) {
-  // std::stoull would silently wrap negative input to a huge value.
-  if (!value.empty() && value[0] != '-') {
-    try {
-      std::size_t consumed = 0;
-      const std::uint64_t parsed = std::stoull(value, &consumed);
-      if (consumed == value.size()) return parsed;
-    } catch (const std::exception&) {
-    }
-  }
-  throw std::invalid_argument("campaign spec line " + std::to_string(line) +
-                              ": expected a non-negative number, got '" + value +
-                              "'");
-}
-
-/// Narrowing helper for the int-typed budgets (stoull already rejected
-/// negatives; this rejects wrap-around past INT_MAX).
-[[nodiscard]] int parse_int(const std::string& value, int line) {
-  const std::uint64_t parsed = parse_u64(value, line);
-  if (parsed > static_cast<std::uint64_t>(std::numeric_limits<int>::max())) {
-    throw std::invalid_argument("campaign spec line " + std::to_string(line) +
-                                ": value out of range: '" + value + "'");
-  }
-  return static_cast<int>(parsed);
-}
-
-[[nodiscard]] std::vector<Strategy> parse_strategies(const std::string& value,
-                                                     int line) {
+[[nodiscard]] std::vector<Strategy> parse_strategies(const util::KvEntry& e) {
   std::vector<Strategy> strategies;
-  std::stringstream ss(value);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    item = trim(item);
-    if (item.empty()) continue;
+  for (const std::string& item : util::kv_list(e, kSpecContext)) {
     try {
       strategies.push_back(parse_strategy(item));
-    } catch (const std::invalid_argument& e) {
-      throw std::invalid_argument("campaign spec line " + std::to_string(line) +
-                                  ": " + e.what());
+    } catch (const std::invalid_argument& err) {
+      util::kv_fail(kSpecContext, e.line, err.what());
     }
-  }
-  if (strategies.empty()) {
-    throw std::invalid_argument("campaign spec line " + std::to_string(line) +
-                                ": empty strategy list");
   }
   return strategies;
 }
@@ -191,6 +144,21 @@ namespace {
   return job;
 }
 
+/// Report row for a job whose execution threw: identification comes from
+/// the suite point (so the row is still attributable and replayable), the
+/// outcome fields stay empty.
+[[nodiscard]] JobResult failed_job(const gen::SuitePoint& point,
+                                   std::size_t job_index, std::string error) {
+  JobResult job;
+  job.job_index = job_index;
+  job.dimension = point.dimension;
+  job.replica = point.replica;
+  job.system_seed = point.params.seed;
+  job.failed = true;
+  job.error = std::move(error);
+  return job;
+}
+
 /// The deviation metric a strategy is compared on: buffer campaigns (SAR
 /// reference) compare s_total, schedulability campaigns (SAS) delta.
 [[nodiscard]] double metric_of(const StrategyOutcome& outcome, Strategy reference) {
@@ -206,6 +174,11 @@ namespace {
     }
   }
   return std::string::npos;
+}
+
+void update_signature(util::Fnv1a& h, const std::string& s) {
+  h.update(static_cast<std::uint64_t>(s.size()));
+  for (const char c : s) h.update_byte(static_cast<std::uint8_t>(c));
 }
 
 void update_signature(util::Fnv1a& h, const JobResult& job) {
@@ -226,6 +199,8 @@ void update_signature(util::Fnv1a& h, const JobResult& job) {
     h.update(o.s_total_before);
     h.update(static_cast<std::int64_t>(o.evaluations));
   }
+  h.update(static_cast<std::uint64_t>(job.failed ? 1 : 0));
+  update_signature(h, job.error);
 }
 
 /// Minimal JSON string escaping for the user-controlled spec fields.
@@ -296,58 +271,41 @@ core::McsOptions CampaignSpec::mcs_options() const {
 
 CampaignSpec parse_campaign_spec(std::istream& in) {
   CampaignSpec spec;
-  std::string line;
-  int line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (const auto hash = line.find('#'); hash != std::string::npos) {
-      line.erase(hash);
-    }
-    line = trim(line);
-    if (line.empty()) continue;
-    const auto eq = line.find('=');
-    if (eq == std::string::npos) {
-      throw std::invalid_argument("campaign spec line " + std::to_string(line_no) +
-                                  ": expected 'key = value', got '" + line + "'");
-    }
-    const std::string key = trim(line.substr(0, eq));
-    const std::string value = trim(line.substr(eq + 1));
-
-    if (key == "name") {
-      spec.name = value;
-    } else if (key == "suite") {
-      spec.suite = value;
-    } else if (key == "seeds_per_dim") {
-      spec.seeds_per_dim = static_cast<std::size_t>(parse_u64(value, line_no));
-    } else if (key == "suite_base_seed") {
-      spec.suite_base_seed = parse_u64(value, line_no);
-    } else if (key == "campaign_seed") {
-      spec.campaign_seed = parse_u64(value, line_no);
-    } else if (key == "strategies") {
-      spec.strategies = parse_strategies(value, line_no);
-    } else if (key == "conservative") {
-      spec.conservative = parse_bool(value, line_no);
-    } else if (key == "paper_ttp") {
-      spec.paper_ttp = parse_bool(value, line_no);
-    } else if (key == "anneal_unschedulable_starts") {
-      spec.anneal_unschedulable_starts = parse_bool(value, line_no);
-    } else if (key == "jobs") {
-      spec.jobs = static_cast<std::size_t>(parse_u64(value, line_no));
-    } else if (key == "sa_max_evaluations") {
-      spec.budgets.sa_max_evaluations = parse_int(value, line_no);
-    } else if (key == "hopa_iterations") {
-      spec.budgets.hopa_iterations = parse_int(value, line_no);
-    } else if (key == "or_max_seed_starts") {
+  for (const util::KvEntry& e : util::parse_kv(in, kSpecContext)) {
+    if (e.key == "name") {
+      spec.name = e.value;
+    } else if (e.key == "suite") {
+      spec.suite = e.value;
+    } else if (e.key == "seeds_per_dim") {
+      spec.seeds_per_dim = static_cast<std::size_t>(util::kv_u64(e, kSpecContext));
+    } else if (e.key == "suite_base_seed") {
+      spec.suite_base_seed = util::kv_u64(e, kSpecContext);
+    } else if (e.key == "campaign_seed") {
+      spec.campaign_seed = util::kv_u64(e, kSpecContext);
+    } else if (e.key == "strategies") {
+      spec.strategies = parse_strategies(e);
+    } else if (e.key == "conservative") {
+      spec.conservative = util::kv_bool(e, kSpecContext);
+    } else if (e.key == "paper_ttp") {
+      spec.paper_ttp = util::kv_bool(e, kSpecContext);
+    } else if (e.key == "anneal_unschedulable_starts") {
+      spec.anneal_unschedulable_starts = util::kv_bool(e, kSpecContext);
+    } else if (e.key == "jobs") {
+      spec.jobs = static_cast<std::size_t>(util::kv_u64(e, kSpecContext));
+    } else if (e.key == "sa_max_evaluations") {
+      spec.budgets.sa_max_evaluations = util::kv_int(e, kSpecContext);
+    } else if (e.key == "hopa_iterations") {
+      spec.budgets.hopa_iterations = util::kv_int(e, kSpecContext);
+    } else if (e.key == "or_max_seed_starts") {
       spec.budgets.or_max_seed_starts =
-          static_cast<std::size_t>(parse_u64(value, line_no));
-    } else if (key == "or_max_climb_iterations") {
-      spec.budgets.or_max_climb_iterations = parse_int(value, line_no);
-    } else if (key == "or_neighbors_per_step") {
+          static_cast<std::size_t>(util::kv_u64(e, kSpecContext));
+    } else if (e.key == "or_max_climb_iterations") {
+      spec.budgets.or_max_climb_iterations = util::kv_int(e, kSpecContext);
+    } else if (e.key == "or_neighbors_per_step") {
       spec.budgets.or_neighbors_per_step =
-          static_cast<std::size_t>(parse_u64(value, line_no));
+          static_cast<std::size_t>(util::kv_u64(e, kSpecContext));
     } else {
-      throw std::invalid_argument("campaign spec line " + std::to_string(line_no) +
-                                  ": unknown key '" + key + "'");
+      util::kv_fail(kSpecContext, e.line, "unknown key '" + e.key + "'");
     }
   }
   return spec;
@@ -395,8 +353,18 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
       spec.jobs == 0 ? util::ThreadPool::default_workers() : spec.jobs;
   util::ThreadPool pool(std::min(requested, std::max<std::size_t>(1, suite.size())));
   result.workers = pool.size();
+  // Graceful degradation: one pathological job becomes a `failed` row of
+  // the report instead of aborting the campaign and discarding every
+  // completed job through wait_idle's exception propagation.  Exception
+  // messages are deterministic, so the signature contract survives.
   pool.parallel_for(suite.size(), [&](std::size_t i) {
-    result.jobs[i] = run_job(spec, suite[i], i);
+    try {
+      result.jobs[i] = run_job(spec, suite[i], i);
+    } catch (const std::exception& e) {
+      result.jobs[i] = failed_job(suite[i], i, e.what());
+    } catch (...) {
+      result.jobs[i] = failed_job(suite[i], i, "unknown exception");
+    }
   });
 
   result.wall_seconds = seconds_since(start);
@@ -506,6 +474,8 @@ void write_json(const CampaignResult& result, std::ostream& out) {
         << ", \"system_seed\": " << job.system_seed << ", \"processes\": "
         << job.processes << ", \"messages\": " << job.messages
         << ", \"inter_cluster_messages\": " << job.inter_cluster_messages
+        << ", \"failed\": " << (job.failed ? "true" : "false")
+        << ", \"error\": \"" << json_escape(job.error) << "\""
         << ", \"seconds\": " << job.seconds << ",\n     \"outcomes\": [";
     for (std::size_t si = 0; si < job.outcomes.size(); ++si) {
       const StrategyOutcome& o = job.outcomes[si];
@@ -525,18 +495,27 @@ void write_json(const CampaignResult& result, std::ostream& out) {
 
 void write_csv(const CampaignResult& result, std::ostream& out) {
   out << "campaign,job,dimension,replica,system_seed,processes,messages,"
-         "inter_cluster_messages,strategy,schedulable,skipped,delta_f1,"
-         "delta_f2,s_total,s_total_before,evaluations,seconds\n";
+         "inter_cluster_messages,strategy,schedulable,skipped,failed,error,"
+         "delta_f1,delta_f2,s_total,s_total_before,evaluations,seconds\n";
   const std::string name = csv_escape(result.spec.name);
   for (const JobResult& job : result.jobs) {
+    const auto prefix = [&](std::ostream& os) -> std::ostream& {
+      return os << name << ',' << job.job_index << ',' << job.dimension << ','
+                << job.replica << ',' << job.system_seed << ',' << job.processes
+                << ',' << job.messages << ',' << job.inter_cluster_messages;
+    };
+    if (job.failed) {
+      // One row per failed job so the failure is visible in the report.
+      prefix(out) << ",-,0,0,1," << csv_escape(job.error)
+                  << ",0,0,0,0,0," << job.seconds << '\n';
+      continue;
+    }
     for (const StrategyOutcome& o : job.outcomes) {
-      out << name << ',' << job.job_index << ',' << job.dimension
-          << ',' << job.replica << ',' << job.system_seed << ',' << job.processes
-          << ',' << job.messages << ',' << job.inter_cluster_messages << ','
-          << to_string(o.strategy) << ',' << (o.schedulable ? 1 : 0) << ','
-          << (o.skipped ? 1 : 0) << ',' << o.delta.f1 << ',' << o.delta.f2 << ',' << o.s_total << ','
-          << o.s_total_before << ',' << o.evaluations << ',' << o.seconds
-          << '\n';
+      prefix(out) << ',' << to_string(o.strategy) << ','
+                  << (o.schedulable ? 1 : 0) << ',' << (o.skipped ? 1 : 0)
+                  << ",0,," << o.delta.f1 << ',' << o.delta.f2 << ','
+                  << o.s_total << ',' << o.s_total_before << ','
+                  << o.evaluations << ',' << o.seconds << '\n';
     }
   }
 }

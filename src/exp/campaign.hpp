@@ -124,6 +124,11 @@ struct JobResult {
   std::size_t messages = 0;
   std::size_t inter_cluster_messages = 0;
   std::vector<StrategyOutcome> outcomes;
+  /// An exception escaped this job (error holds what()); the remaining
+  /// fields describe however far the job got.  Failed jobs are ordinary
+  /// report rows — they never abort the campaign or discard other jobs.
+  bool failed = false;
+  std::string error;
   double seconds = 0.0;
 
   /// FNV-1a over every deterministic field (wall-clock times excluded).

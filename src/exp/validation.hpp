@@ -1,0 +1,143 @@
+// Campaign-scale soundness fuzzing and fault-tolerance sweeps.
+//
+// A validation campaign turns the discrete-event simulator into a
+// standing adversarial validator of the analysis (ROADMAP item 5): for
+// every system of a generator suite it
+//
+//   1. synthesizes a configuration with one strategy (SF/OS/OR),
+//   2. simulates it fault-free under WCET execution and asserts
+//      `simulated <= analytic bound` for every process completion,
+//      message delivery, graph response and queue maximum — any
+//      exceedance is a soundness BUG in the analysis and is reported
+//      with the replayable (suite, system_seed) pair that produced it,
+//   3. re-simulates under each configured fault scenario (sim/fault.hpp)
+//      and records degradation: deadline misses, lost messages, queue
+//      growth beyond the fault-free bounds, residual slack.
+//
+// Graceful campaign degradation: each job runs under a per-job exception
+// guard and a deterministic event budget, so a pathological instance
+// yields a `failed` or `timeout` row in the JSON/CSV report instead of
+// killing the campaign.  The determinism contract of the campaign engine
+// carries over: every field except wall-clock seconds is bit-identical
+// for any `jobs` value (scenario RNG seeds derive from (scenario seed,
+// campaign seed, job index, scenario index) by FNV-1a).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mcs/exp/campaign.hpp"
+#include "mcs/sim/simulator.hpp"
+#include "mcs/util/table.hpp"
+
+namespace mcs::exp {
+
+/// Declarative description of one validation campaign; parsed from the
+/// same `key = value` format as CampaignSpec (see examples/soundness.validation).
+struct ValidationSpec {
+  std::string name = "validation";
+  std::string suite = "validation";  ///< gen::suite_by_name
+  std::size_t seeds_per_dim = 25;
+  std::uint64_t suite_base_seed = 7000;
+  std::uint64_t campaign_seed = 1;
+  /// Configuration synthesis strategy (Sf, Os or Or; the annealing
+  /// strategies need a start candidate and are not meaningful here).
+  Strategy strategy = Strategy::Sf;
+  bool conservative = false;
+  bool paper_ttp = false;
+  /// Fault scenarios simulated after the fault-free soundness check.
+  std::vector<sim::FaultSpec> scenarios;
+  /// Per-simulation event budget: a run that exhausts it becomes a
+  /// `timeout` row (deterministic, unlike a wall-clock limit).
+  std::int64_t max_sim_events = 2'000'000;
+  CampaignBudgets budgets;
+  std::size_t jobs = 1;  ///< worker threads (0 = one per hardware core)
+
+  [[nodiscard]] core::McsOptions mcs_options() const;
+};
+
+/// Spec keys: name, suite, seeds_per_dim, suite_base_seed, campaign_seed,
+/// strategy (sf|os|or), conservative, paper_ttp, scenarios (comma list of
+/// sim::FaultSpec scenario names), max_sim_events, jobs, plus the
+/// CampaignBudgets keys.  Line-numbered std::invalid_argument on errors.
+[[nodiscard]] ValidationSpec parse_validation_spec(std::istream& in);
+[[nodiscard]] ValidationSpec parse_validation_spec_file(const std::string& path);
+
+/// How one job ended.  Failed and Timeout are report rows, never aborts.
+enum class JobStatus {
+  Ok,       ///< synthesis + simulations ran to the end
+  Timeout,  ///< a simulation exhausted the per-job event budget
+  Failed,   ///< an exception escaped the job (error holds what())
+};
+[[nodiscard]] const char* to_string(JobStatus status);
+
+/// Degradation statistics of one fault scenario on one instance.
+struct ScenarioOutcome {
+  std::string scenario;
+  sim::SimStatus sim_status = sim::SimStatus::Completed;
+  std::int64_t deadline_misses = 0;
+  std::int64_t messages_lost = 0;
+  std::int64_t config_violations = 0;  ///< missed slots, late TT starts, ...
+  sim::FaultCounters faults;
+  std::int64_t max_out_can = 0;
+  std::int64_t max_out_ttp = 0;
+  /// Queue maxima that exceeded the fault-free analytic bound (OutCAN,
+  /// OutTTP and every OutNi counted separately).
+  std::int64_t queue_over_bound = 0;
+  /// max over graphs of simulated response - deadline (negative = slack
+  /// everywhere, util::kTimeInfinity = some graph starved forever).
+  util::Time worst_lateness = 0;
+};
+
+/// One instance: synthesis verdict, soundness check, degradation rows.
+struct ValidationJob {
+  std::size_t job_index = 0;
+  std::size_t dimension = 0;
+  std::size_t replica = 0;
+  std::uint64_t system_seed = 0;
+  std::size_t processes = 0;
+  std::size_t messages = 0;
+  JobStatus status = JobStatus::Ok;
+  std::string error;  ///< Failed only: the captured exception message
+  bool converged = false;
+  bool schedulable = false;
+  /// True when the fault-free bound assertion actually ran (it is skipped
+  /// — with skip_reason set — when the analysis did not converge or the
+  /// fault-free simulation was inconsistent).
+  bool bounds_checked = false;
+  std::string skip_reason;
+  /// Fault-free analytic-bound exceedances: each one is a soundness bug,
+  /// replayable from (suite, system_seed, strategy).
+  std::vector<sim::BoundViolation> violations;
+  std::vector<ScenarioOutcome> scenarios;
+  double seconds = 0.0;
+
+  /// FNV-1a over every deterministic field (seconds excluded).
+  [[nodiscard]] std::uint64_t signature() const;
+};
+
+struct ValidationResult {
+  ValidationSpec spec;
+  std::vector<ValidationJob> jobs;  ///< indexed by job_index (= suite order)
+  std::size_t workers = 1;
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] std::uint64_t signature() const;
+  [[nodiscard]] std::size_t total_violations() const;
+  [[nodiscard]] std::size_t count(JobStatus status) const;
+
+  /// Per-dimension roll-up: job statuses, checked/violating instances,
+  /// and per scenario the total deadline misses and lost messages.
+  [[nodiscard]] util::Table summary_table() const;
+};
+
+/// Runs the validation campaign on `spec.jobs` worker threads.  All
+/// deterministic fields are bit-identical for any thread count.
+[[nodiscard]] ValidationResult run_validation(const ValidationSpec& spec);
+
+void write_json(const ValidationResult& result, std::ostream& out);
+void write_csv(const ValidationResult& result, std::ostream& out);
+
+}  // namespace mcs::exp

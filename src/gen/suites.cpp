@@ -78,14 +78,41 @@ std::vector<SuitePoint> tiny_suite(std::size_t seeds_per_dim,
   return suite;
 }
 
+std::vector<SuitePoint> validation_suite(std::size_t seeds_per_dim,
+                                         std::uint64_t base_seed) {
+  std::vector<SuitePoint> suite;
+  for (const std::size_t nodes : {2u, 4u}) {
+    for (std::size_t replica = 0; replica < seeds_per_dim; ++replica) {
+      GeneratorParams p;
+      p.tt_nodes = nodes / 2;
+      p.et_nodes = nodes / 2;
+      p.processes_per_node = 8;
+      p.processes_per_graph = 16;
+      p.wcet_min = 50;
+      p.wcet_max = 400;
+      p.target_inter_cluster_messages = 2 * (nodes / 2);
+      p.wcet_distribution = (replica % 2 == 0) ? WcetDistribution::Uniform
+                                               : WcetDistribution::Exponential;
+      p.seed = base_seed + nodes * 71 + replica;
+      SuitePoint point;
+      point.params = p;
+      point.dimension = nodes * 8;  // processes
+      point.replica = replica;
+      suite.push_back(point);
+    }
+  }
+  return suite;
+}
+
 std::vector<SuitePoint> suite_by_name(const std::string& name,
                                       std::size_t seeds_per_dim,
                                       std::uint64_t base_seed) {
   if (name == "fig9ab") return figure9ab_suite(seeds_per_dim, base_seed);
   if (name == "fig9c") return figure9c_suite(seeds_per_dim, base_seed);
   if (name == "tiny") return tiny_suite(seeds_per_dim, base_seed);
+  if (name == "validation") return validation_suite(seeds_per_dim, base_seed);
   throw std::invalid_argument("unknown suite '" + name +
-                              "' (expected fig9ab, fig9c or tiny)");
+                              "' (expected fig9ab, fig9c, tiny or validation)");
 }
 
 }  // namespace mcs::gen

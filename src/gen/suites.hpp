@@ -38,8 +38,16 @@ struct SuitePoint {
 [[nodiscard]] std::vector<SuitePoint> tiny_suite(std::size_t seeds_per_dim,
                                                  std::uint64_t base_seed = 500);
 
-/// Suite lookup used by the campaign spec format: "fig9ab", "fig9c" or
-/// "tiny".  Throws std::invalid_argument on an unknown name.
+/// Soundness-fuzzing grid (tests/sim cross-validation shape): two-cluster
+/// systems of 2 and 4 nodes, 8 processes per node in graphs of 16, light
+/// enough that the fault-free simulation plus several fault scenarios run
+/// in milliseconds per instance — so a campaign can sweep hundreds of
+/// systems per CI run.
+[[nodiscard]] std::vector<SuitePoint> validation_suite(std::size_t seeds_per_dim,
+                                                       std::uint64_t base_seed = 7000);
+
+/// Suite lookup used by the campaign spec format: "fig9ab", "fig9c",
+/// "tiny" or "validation".  Throws std::invalid_argument on an unknown name.
 [[nodiscard]] std::vector<SuitePoint> suite_by_name(const std::string& name,
                                                     std::size_t seeds_per_dim,
                                                     std::uint64_t base_seed);

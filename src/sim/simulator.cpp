@@ -30,6 +30,7 @@ struct Sim {
 
   EventQueue q;
   SimResult out;
+  FaultInjector* inject = nullptr;  ///< optional; owned by the caller
 
   // Static per-activity data.
   std::vector<MessageRoute> route;
@@ -61,6 +62,7 @@ struct Sim {
   bool can_busy = false;
   bool can_arbitration_scheduled = false;
   std::set<std::pair<core::Priority, MessageId>> can_pending;
+  std::vector<int> can_retries;  ///< fault-injected retransmissions so far
 
   // Gateway queues.
   std::int64_t out_can_bytes = 0;
@@ -132,9 +134,16 @@ struct Sim {
     dispatch(node);
   }
 
+  /// Actual execution time of one dispatch: the WCET, or a fault-injected
+  /// draw from [bcet, wcet].
+  [[nodiscard]] Time exec_time(ProcessId p) {
+    const Time wcet = app.process(p).wcet;
+    return inject ? inject->exec_time(wcet) : wcet;
+  }
+
   void release_et(ProcessId p) {
     const std::size_t node = app.process(p).node.index();
-    et_remaining[p.index()] = app.process(p).wcet;
+    et_remaining[p.index()] = exec_time(p);
     ready[node].emplace(cfg.process_priority(p), p);
     dispatch(node);
   }
@@ -156,8 +165,9 @@ struct Sim {
     started[p.index()] = true;
     out.process_start[p.index()] = start;
     out.trace.add(start, TraceKind::ProcessStart, pname(p));
-    tt_busy_until[node] = start + proc.wcet;
-    q.schedule(start + proc.wcet, [this, p] { complete_process(p); });
+    const Time c = exec_time(p);
+    tt_busy_until[node] = start + c;
+    q.schedule(start + c, [this, p] { complete_process(p); });
   }
 
   void tt_release(ProcessId p) {
@@ -238,6 +248,25 @@ struct Sim {
       delivery = tdma.kth_slot_end(assignment->slot_index, q.now(),
                                    assignment->rounds);
     }
+    if (inject) {
+      // A corrupted TTP frame is retransmitted in the owner's slot of the
+      // next round, once per lost round; past the retry budget the frame
+      // (and the message with it) is gone for good.
+      const int losses = inject->ttp_round_losses();
+      if (losses > inject->spec().ttp_max_retries) {
+        ++inject->counters.ttp_messages_lost;
+        out.lost_messages.push_back(mname(m));
+        out.trace.add(q.now(), TraceKind::Fault,
+                      "message " + mname(m) + " lost on TTP");
+        return;
+      }
+      if (losses > 0) {
+        delivery += losses * cfg.tdma().round_length();
+        out.trace.add(q.now(), TraceKind::Fault,
+                      "TTP frame of " + mname(m) + " dropped " +
+                          std::to_string(losses) + " round(s)");
+      }
+    }
     out.trace.add(q.now(), TraceKind::SlotTx,
                   mname(m) + " in slot " + std::to_string(assignment->slot_index));
     q.schedule(delivery, [this, m] { ttp_delivered(m); });
@@ -251,8 +280,10 @@ struct Sim {
       return;
     }
     // TT->ET: frame landed in the gateway MBI; the transfer process T
-    // moves it into OutCAN within its response time r_T = C_T.
-    const Time r_t = platform.gateway_transfer().wcet;
+    // moves it into OutCAN within its response time r_T = C_T (plus any
+    // injected gateway clock drift).
+    const Time r_t = platform.gateway_transfer().wcet +
+                     (inject ? inject->gateway_jitter() : 0);
     q.schedule(q.now() + r_t, [this, m] {
       out_can_bytes += app.message(m).size_bytes;
       out.max_out_can = std::max(out.max_out_can, out_can_bytes);
@@ -279,6 +310,17 @@ struct Sim {
 
   void arbitrate_can() {
     if (can_busy || can_pending.empty()) return;
+    // A babbling idiot wins arbitration outright (it transmits with the
+    // highest identifier priority) and holds the bus for babble_tx.
+    if (inject && inject->babble()) {
+      can_busy = true;
+      out.trace.add(q.now(), TraceKind::Fault, "babbling idiot seizes CAN");
+      q.schedule(q.now() + inject->spec().babble_tx, [this] {
+        can_busy = false;
+        try_can();
+      });
+      return;
+    }
     const auto [prio, m] = *can_pending.begin();
     can_pending.erase(can_pending.begin());
     can_busy = true;
@@ -290,11 +332,39 @@ struct Sim {
       out_node_bytes[node] -= app.message(m).size_bytes;
     }
     out.trace.add(q.now(), TraceKind::MessageTxStart, mname(m));
-    q.schedule(q.now() + can_tx[m.index()], [this, m] { can_done(m); });
+    Time wire = can_tx[m.index()];
+    if (inject) {
+      const Time extra = inject->can_extra_delay();
+      if (extra > 0) {
+        out.trace.add(q.now(), TraceKind::Fault,
+                      "CAN frame of " + mname(m) + " delayed " +
+                          std::to_string(extra));
+        wire += extra;
+      }
+    }
+    q.schedule(q.now() + wire, [this, m] { can_done(m); });
   }
 
   void can_done(MessageId m) {
     can_busy = false;
+    // Injected corruption: CAN controllers retransmit automatically (the
+    // frame stays in the controller, so no queue bytes are re-charged);
+    // past the retry budget the message is lost and its destination
+    // starves.
+    if (inject && inject->corrupt_can_frame()) {
+      if (++can_retries[m.index()] > inject->spec().can_max_retries) {
+        ++inject->counters.can_messages_lost;
+        out.lost_messages.push_back(mname(m));
+        out.trace.add(q.now(), TraceKind::Fault,
+                      "message " + mname(m) + " lost on CAN");
+      } else {
+        can_pending.emplace(cfg.message_priority(m), m);
+        out.trace.add(q.now(), TraceKind::Fault,
+                      "CAN frame of " + mname(m) + " corrupted; retransmitting");
+      }
+      try_can();
+      return;
+    }
     if (route[m.index()] == MessageRoute::EtToTt) {
       // Arrived at the gateway CAN controller; into the OutTTP FIFO.
       if (out_ttp_fifo.empty()) front_bytes_left = app.message(m).size_bytes;
@@ -387,6 +457,7 @@ struct Sim {
     ready.assign(platform.num_nodes(), {});
     et_remaining.assign(np, 0);
     out_node_bytes.assign(platform.num_nodes(), 0);
+    can_retries.assign(nm, 0);
 
     route.resize(nm);
     can_tx.assign(nm, 0);
@@ -406,11 +477,13 @@ struct Sim {
     for (std::size_t pi = 0; pi < np; ++pi) {
       inputs_remaining[pi] = app.processes()[pi].predecessors.size();
     }
-    // Releases: TT at schedule-table offsets, ET sources at time 0.
+    // Releases: TT at schedule-table offsets (perturbed by any injected
+    // kernel clock jitter), ET sources at time 0.
     for (std::size_t pi = 0; pi < np; ++pi) {
       const ProcessId p(static_cast<ProcessId::underlying_type>(pi));
       if (platform.is_tt(app.process(p).node)) {
-        q.schedule(cfg.process_offset(p), [this, p] { tt_release(p); });
+        const Time jitter = inject ? inject->tt_release_jitter() : 0;
+        q.schedule(cfg.process_offset(p) + jitter, [this, p] { tt_release(p); });
       } else if (inputs_remaining[pi] == 0) {
         q.schedule(0, [this, p] { release_et(p); });
       }
@@ -426,15 +499,53 @@ struct Sim {
 
     out.completed = std::all_of(finished.begin(), finished.end(),
                                 [](bool f) { return f; });
+    if (out.completed) {
+      out.status = SimStatus::Completed;
+    } else if (executed >= opt.max_events) {
+      out.status = SimStatus::EventLimitExhausted;
+    } else if (!q.empty()) {
+      out.status = SimStatus::HorizonExhausted;
+    } else {
+      out.status = SimStatus::Stalled;  // starved: an input never arrived
+    }
     for (std::size_t pi = 0; pi < np; ++pi) {
       if (!finished[pi]) continue;
       auto& response = out.graph_response[app.processes()[pi].graph.index()];
       response = std::max(response, finish_time[pi]);
     }
+
+    // Deadline verdicts: a graph with an unfinished process counts as an
+    // unbounded miss.
+    std::vector<bool> graph_unfinished(app.num_graphs(), false);
+    for (std::size_t pi = 0; pi < np; ++pi) {
+      if (!finished[pi]) {
+        graph_unfinished[app.processes()[pi].graph.index()] = true;
+      }
+    }
+    for (std::size_t gi = 0; gi < app.num_graphs(); ++gi) {
+      const Time deadline = app.graphs()[gi].deadline;
+      const Time response =
+          graph_unfinished[gi] ? util::kTimeInfinity : out.graph_response[gi];
+      if (response > deadline) {
+        out.deadline_misses.push_back(DeadlineMiss{gi, response, deadline});
+      }
+    }
+
+    if (inject) out.faults = inject->counters;
   }
 };
 
 }  // namespace
+
+const char* to_string(SimStatus status) {
+  switch (status) {
+    case SimStatus::Completed: return "completed";
+    case SimStatus::HorizonExhausted: return "horizon";
+    case SimStatus::EventLimitExhausted: return "event-limit";
+    case SimStatus::Stalled: return "stalled";
+  }
+  return "?";
+}
 
 SimResult simulate(const Application& app, const arch::Platform& platform,
                    const SystemConfig& config,
@@ -443,6 +554,54 @@ SimResult simulate(const Application& app, const arch::Platform& platform,
   Sim sim(app, platform, config, ttc_schedule, options);
   sim.run();
   return std::move(sim.out);
+}
+
+SimResult simulate(const Application& app, const arch::Platform& platform,
+                   const SystemConfig& config,
+                   const sched::TtcSchedule& ttc_schedule,
+                   const SimOptions& options, const FaultSpec& faults) {
+  FaultInjector injector(faults);
+  Sim sim(app, platform, config, ttc_schedule, options);
+  sim.inject = &injector;
+  sim.run();
+  return std::move(sim.out);
+}
+
+std::size_t check_bounds(const Application& app,
+                         const core::AnalysisResult& analysis,
+                         SimResult& result) {
+  std::size_t added = 0;
+  const auto check = [&](std::string activity, std::int64_t simulated,
+                         std::int64_t bound) {
+    if (simulated > bound) {
+      result.bound_violations.push_back(
+          BoundViolation{std::move(activity), simulated, bound});
+      ++added;
+    }
+  };
+
+  for (std::size_t pi = 0; pi < app.num_processes(); ++pi) {
+    check("process " + app.processes()[pi].name, result.process_completion[pi],
+          util::sat_add(analysis.process_offsets[pi],
+                        analysis.process_response[pi]));
+  }
+  for (std::size_t mi = 0; mi < app.num_messages(); ++mi) {
+    check("message " + app.messages()[mi].name, result.message_delivery[mi],
+          analysis.message_delivery[mi]);
+  }
+  for (std::size_t gi = 0; gi < app.num_graphs(); ++gi) {
+    check("graph " + app.graphs()[gi].name, result.graph_response[gi],
+          analysis.graph_response[gi]);
+  }
+  check("buffer OutCAN", result.max_out_can, analysis.buffers.out_can);
+  check("buffer OutTTP", result.max_out_ttp, analysis.buffers.out_ttp);
+  for (const auto& [node, bytes] : result.max_out_node) {
+    const auto it = analysis.buffers.out_node.find(node);
+    const std::int64_t bound =
+        it == analysis.buffers.out_node.end() ? 0 : it->second;
+    check("buffer OutN" + std::to_string(node.index()), bytes, bound);
+  }
+  return added;
 }
 
 }  // namespace mcs::sim

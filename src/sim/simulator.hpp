@@ -16,6 +16,12 @@
 // bounds must dominate every simulated instant — the property the
 // tests/sim suite asserts on randomized systems).
 //
+// A run may additionally be perturbed by a deterministic fault scenario
+// (sim/fault.hpp): frame drops/delays, a babbling CAN node, clock jitter
+// and execution-time variation.  Under faults the bounds need not hold —
+// the point is to measure graceful degradation (deadline misses, lost
+// messages, queue growth) reproducibly.
+//
 // One activation per graph is simulated (all graphs released at 0); the
 // analysis is likewise a single-instance-per-period analysis with D <= T,
 // so this window exercises every contention the bounds model.  For
@@ -25,8 +31,10 @@
 
 #include <map>
 
+#include "mcs/core/analysis_types.hpp"
 #include "mcs/core/system_config.hpp"
 #include "mcs/sched/list_scheduler.hpp"
+#include "mcs/sim/fault.hpp"
 #include "mcs/sim/trace.hpp"
 
 namespace mcs::sim {
@@ -38,8 +46,39 @@ struct SimOptions {
   util::Time horizon = 0;
 };
 
+/// Why the event loop stopped.  Everything except Completed means some
+/// process never finished; the distinction lets the soundness fuzzer
+/// separate "diverged" (EventLimit) from "infeasible within the window"
+/// (Horizon) from "starved forever" (Stalled, e.g. a message lost to
+/// faults, so a successor's input never arrives).
+enum class SimStatus {
+  Completed,            ///< every process finished inside the horizon
+  HorizonExhausted,     ///< events remained beyond the time cutoff
+  EventLimitExhausted,  ///< max_events executed (runaway / livelock guard)
+  Stalled,              ///< queue drained with processes still unfinished
+};
+
+[[nodiscard]] const char* to_string(SimStatus status);
+
+/// One graph whose activation exceeded its deadline (or never finished:
+/// response == util::kTimeInfinity).
+struct DeadlineMiss {
+  std::size_t graph = 0;
+  util::Time response = 0;
+  util::Time deadline = 0;
+};
+
+/// A simulated instant that exceeded its analytic bound — on a fault-free
+/// WCET run this is a soundness bug in the analysis (see check_bounds).
+struct BoundViolation {
+  std::string activity;  ///< "process P3", "message m2", "buffer OutCAN", ...
+  std::int64_t simulated = 0;
+  std::int64_t bound = 0;
+};
+
 struct SimResult {
   bool completed = false;  ///< every process finished before the horizon
+  SimStatus status = SimStatus::Completed;
 
   std::vector<util::Time> process_start;       ///< first dispatch
   std::vector<util::Time> process_completion;  ///< finish instant
@@ -52,8 +91,18 @@ struct SimResult {
 
   /// Causality/feasibility problems observed (schedule-table overlap,
   /// input not present at a TT start, missed MEDL slot).  Empty for a
-  /// consistent configuration.
+  /// consistent configuration simulated fault-free; fault scenarios may
+  /// legitimately produce these.
   std::vector<std::string> violations;
+
+  /// What the fault injector did (all zero on an uninjected run).
+  FaultCounters faults;
+  /// Graphs that missed their deadline, in graph order.
+  std::vector<DeadlineMiss> deadline_misses;
+  /// Messages permanently lost to faults (retry budgets exhausted).
+  std::vector<std::string> lost_messages;
+  /// Analytic-bound violations; filled by check_bounds, not by simulate.
+  std::vector<BoundViolation> bound_violations;
 
   Trace trace{false};
 };
@@ -66,5 +115,27 @@ struct SimResult {
                                  const core::SystemConfig& config,
                                  const sched::TtcSchedule& ttc_schedule,
                                  const SimOptions& options = {});
+
+/// Same, perturbed by the given fault scenario.  Bit-identical for a
+/// given (system, config, faults.seed); a FaultSpec with no enabled
+/// perturbation reproduces the uninjected run exactly.
+[[nodiscard]] SimResult simulate(const model::Application& app,
+                                 const arch::Platform& platform,
+                                 const core::SystemConfig& config,
+                                 const sched::TtcSchedule& ttc_schedule,
+                                 const SimOptions& options,
+                                 const FaultSpec& faults);
+
+/// Compares every simulated observation of `result` against the analytic
+/// worst cases in `analysis`: process completions vs offset + response,
+/// message deliveries, graph responses and queue maxima vs buffer bounds.
+/// Appends one BoundViolation per exceedance to result.bound_violations
+/// and returns the number added.  Only meaningful for fault-free WCET
+/// runs of a consistent configuration (result.violations empty, status
+/// Completed) — there a nonzero return value is an analysis soundness
+/// bug.
+std::size_t check_bounds(const model::Application& app,
+                         const core::AnalysisResult& analysis,
+                         SimResult& result);
 
 }  // namespace mcs::sim

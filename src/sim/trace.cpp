@@ -15,6 +15,7 @@ const char* to_string(TraceKind kind) {
     case TraceKind::MessageDelivery: return "deliver ";
     case TraceKind::SlotTx: return "slot    ";
     case TraceKind::Violation: return "VIOLATION";
+    case TraceKind::Fault: return "fault   ";
   }
   return "?";
 }

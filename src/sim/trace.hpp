@@ -20,6 +20,7 @@ enum class TraceKind {
   MessageDelivery,
   SlotTx,
   Violation,
+  Fault,  ///< an injected perturbation (drop, delay, babble, jitter)
 };
 
 [[nodiscard]] const char* to_string(TraceKind kind);

@@ -1,0 +1,112 @@
+#include "mcs/util/kv_parse.hpp"
+
+#include <istream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace mcs::util {
+
+std::string kv_trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+void kv_fail(const std::string& context, int line, const std::string& what) {
+  throw std::invalid_argument(context + " line " + std::to_string(line) + ": " +
+                              what);
+}
+
+std::vector<KvEntry> parse_kv(std::istream& in, const std::string& context) {
+  std::vector<KvEntry> entries;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    line = kv_trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      kv_fail(context, line_no, "expected 'key = value', got '" + line + "'");
+    }
+    KvEntry entry;
+    entry.key = kv_trim(line.substr(0, eq));
+    entry.value = kv_trim(line.substr(eq + 1));
+    entry.line = line_no;
+    if (entry.key.empty()) kv_fail(context, line_no, "empty key");
+    entries.push_back(std::move(entry));
+  }
+  if (entries.empty()) {
+    throw std::invalid_argument(context +
+                                ": no 'key = value' entries found — is this "
+                                "the right file?");
+  }
+  return entries;
+}
+
+bool kv_bool(const KvEntry& e, const std::string& context) {
+  if (e.value == "true" || e.value == "1") return true;
+  if (e.value == "false" || e.value == "0") return false;
+  kv_fail(context, e.line, "expected true/false, got '" + e.value + "'");
+}
+
+std::uint64_t kv_u64(const KvEntry& e, const std::string& context) {
+  // std::stoull would silently wrap negative input to a huge value.
+  if (!e.value.empty() && e.value[0] != '-') {
+    try {
+      std::size_t consumed = 0;
+      const std::uint64_t parsed = std::stoull(e.value, &consumed);
+      if (consumed == e.value.size()) return parsed;
+    } catch (const std::exception&) {
+    }
+  }
+  kv_fail(context, e.line,
+          "expected a non-negative number, got '" + e.value + "'");
+}
+
+int kv_int(const KvEntry& e, const std::string& context) {
+  const std::uint64_t parsed = kv_u64(e, context);
+  if (parsed > static_cast<std::uint64_t>(std::numeric_limits<int>::max())) {
+    kv_fail(context, e.line, "value out of range: '" + e.value + "'");
+  }
+  return static_cast<int>(parsed);
+}
+
+Time kv_time(const KvEntry& e, const std::string& context) {
+  const std::uint64_t parsed = kv_u64(e, context);
+  if (parsed > static_cast<std::uint64_t>(kTimeInfinity)) {
+    kv_fail(context, e.line, "time value out of range: '" + e.value + "'");
+  }
+  return static_cast<Time>(parsed);
+}
+
+double kv_unit_real(const KvEntry& e, const std::string& context) {
+  try {
+    std::size_t consumed = 0;
+    const double parsed = std::stod(e.value, &consumed);
+    if (consumed == e.value.size() && parsed >= 0.0 && parsed <= 1.0) {
+      return parsed;
+    }
+  } catch (const std::exception&) {
+  }
+  kv_fail(context, e.line, "expected a real in [0, 1], got '" + e.value + "'");
+}
+
+std::vector<std::string> kv_list(const KvEntry& e, const std::string& context) {
+  std::vector<std::string> items;
+  std::stringstream ss(e.value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item = kv_trim(item);
+    if (!item.empty()) items.push_back(item);
+  }
+  if (items.empty()) kv_fail(context, e.line, "empty list");
+  return items;
+}
+
+}  // namespace mcs::util

@@ -1,0 +1,53 @@
+// Line-based `key = value` spec parsing shared by the campaign, validation
+// and fault-scenario file formats.
+//
+// The grammar is deliberately tiny: one `key = value` pair per line, '#'
+// starts a comment, blank lines are ignored.  Every syntax or range error
+// is reported as `<context> line N: <what>` through std::invalid_argument
+// so CLI users get an actionable, line-numbered message and a nonzero
+// exit instead of a silently default-constructed spec.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mcs/util/time.hpp"
+
+namespace mcs::util {
+
+struct KvEntry {
+  std::string key;
+  std::string value;
+  int line = 0;
+};
+
+/// Strips leading/trailing blanks (spaces, tabs, CR).
+[[nodiscard]] std::string kv_trim(const std::string& s);
+
+/// Reads every `key = value` line.  `context` names the spec kind in
+/// error messages ("campaign spec", "fault spec", ...).  Throws
+/// std::invalid_argument on a non-empty line without '=' and when the
+/// stream contains no entries at all — a spec file with zero recognized
+/// lines is almost always the wrong file.
+[[nodiscard]] std::vector<KvEntry> parse_kv(std::istream& in,
+                                            const std::string& context);
+
+/// Raises `<context> line N: <what>` as std::invalid_argument.
+[[noreturn]] void kv_fail(const std::string& context, int line,
+                          const std::string& what);
+
+/// Typed value accessors; each throws a line-numbered error on mismatch.
+[[nodiscard]] bool kv_bool(const KvEntry& e, const std::string& context);
+[[nodiscard]] std::uint64_t kv_u64(const KvEntry& e, const std::string& context);
+[[nodiscard]] int kv_int(const KvEntry& e, const std::string& context);
+/// Non-negative time in ticks.
+[[nodiscard]] Time kv_time(const KvEntry& e, const std::string& context);
+/// Real in [0, 1] (probabilities and fractions).
+[[nodiscard]] double kv_unit_real(const KvEntry& e, const std::string& context);
+/// Comma-separated list of trimmed, non-empty items.
+[[nodiscard]] std::vector<std::string> kv_list(const KvEntry& e,
+                                               const std::string& context);
+
+}  // namespace mcs::util

@@ -1,0 +1,102 @@
+// The shared `key = value` parser behind the campaign, validation and
+// fault-spec file formats: grammar, typed accessors and the line-numbered
+// error contract every spec parser inherits.
+#include "mcs/util/kv_parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mcs::util {
+namespace {
+
+constexpr const char* kCtx = "test spec";
+
+std::vector<KvEntry> parse(const std::string& text) {
+  std::istringstream in(text);
+  return parse_kv(in, kCtx);
+}
+
+TEST(KvParse, ParsesEntriesWithCommentsAndBlankLines) {
+  const auto entries = parse(
+      "# header comment\n"
+      "\n"
+      "alpha = 1\n"
+      "  beta =  two words  # trailing comment\n"
+      "gamma=3\n");
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].key, "alpha");
+  EXPECT_EQ(entries[0].value, "1");
+  EXPECT_EQ(entries[0].line, 3);
+  EXPECT_EQ(entries[1].key, "beta");
+  EXPECT_EQ(entries[1].value, "two words");
+  EXPECT_EQ(entries[1].line, 4);
+  EXPECT_EQ(entries[2].key, "gamma");
+  EXPECT_EQ(entries[2].value, "3");
+}
+
+TEST(KvParse, ErrorsCarryContextAndLineNumber) {
+  const auto message_of = [](const std::string& text) {
+    try {
+      static_cast<void>(parse(text));
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+    return std::string("<no error>");
+  };
+  const std::string no_eq = message_of("a = 1\nnot a pair\n");
+  EXPECT_NE(no_eq.find("test spec line 2"), std::string::npos) << no_eq;
+  EXPECT_NE(message_of("= value\n").find("line 1"), std::string::npos);
+  // Zero entries = almost certainly the wrong file; refuse to return a
+  // silently default-constructed spec.
+  EXPECT_NE(message_of("# comments only\n\n").find("no 'key = value'"),
+            std::string::npos);
+}
+
+TEST(KvParse, TypedAccessorsAcceptAndReject) {
+  const auto entry = [](const std::string& value) {
+    return KvEntry{"k", value, 7};
+  };
+  EXPECT_TRUE(kv_bool(entry("true"), kCtx));
+  EXPECT_FALSE(kv_bool(entry("false"), kCtx));
+  EXPECT_THROW(static_cast<void>(kv_bool(entry("maybe"), kCtx)),
+               std::invalid_argument);
+
+  EXPECT_EQ(kv_u64(entry("42"), kCtx), 42u);
+  EXPECT_THROW(static_cast<void>(kv_u64(entry("-1"), kCtx)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(kv_u64(entry("3x"), kCtx)),
+               std::invalid_argument);
+
+  EXPECT_EQ(kv_int(entry("0"), kCtx), 0);
+  EXPECT_THROW(static_cast<void>(kv_int(entry("5000000000"), kCtx)),
+               std::invalid_argument);
+
+  EXPECT_EQ(kv_time(entry("100"), kCtx), 100);
+  EXPECT_THROW(static_cast<void>(kv_time(entry("-5"), kCtx)),
+               std::invalid_argument);
+
+  EXPECT_DOUBLE_EQ(kv_unit_real(entry("0.25"), kCtx), 0.25);
+  EXPECT_THROW(static_cast<void>(kv_unit_real(entry("1.5"), kCtx)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(kv_unit_real(entry("nan"), kCtx)),
+               std::invalid_argument);
+
+  const auto items = kv_list(entry("a, b , c"), kCtx);
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[1], "b");
+  EXPECT_THROW(static_cast<void>(kv_list(entry(" , ,"), kCtx)),
+               std::invalid_argument);
+
+  // The reported line number is the entry's, so a bad value deep in a
+  // file still points at the right place.
+  try {
+    static_cast<void>(kv_u64(entry("oops"), kCtx));
+    ADD_FAILURE() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 7"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mcs::util

@@ -9,6 +9,9 @@
 //   --paper-ttp             use the paper's closed-form OutTTP model
 //   --simulate              validate the result with the discrete-event
 //                           simulator and report observed vs bound
+//   --faults <spec>         with --simulate: additionally run the fault
+//                           scenario described by the key=value spec file
+//                           (examples/drop.faults) and report degradation
 //   --trace                 print the simulation trace (implies --simulate)
 //   --dump-config           print the synthesized configuration (slots,
 //                           priorities, schedule table)
@@ -25,6 +28,19 @@
 //   --report-json <file>    write the full per-job JSON report
 //   --report-csv <file>     write the per-(job, strategy) CSV report
 //
+// Validation mode (campaign-scale soundness fuzzing + fault sweeps, see
+// src/exp/validation.hpp and DESIGN.md §5):
+//
+//   mcs_synth --validate <spec> [--faults F] [--jobs N] [--report-json F]
+//             [--report-csv F]
+//
+//   --validate <spec>       run the validation campaign described by the
+//                           key=value spec file (examples/soundness.validation);
+//                           exit status 1 when any analytic bound was
+//                           violated on a fault-free run (a soundness bug)
+//   --faults <spec>         append the fault scenario in the spec file to
+//                           the campaign's scenario list
+//
 // Reads a plain-text system description (see src/gen/textio.hpp for the
 // grammar and examples/paper_example.mcs for a sample), synthesizes a
 // configuration and prints the schedulability verdict, per-graph response
@@ -39,6 +55,7 @@
 #include "mcs/core/optimize_resources.hpp"
 #include "mcs/core/straightforward.hpp"
 #include "mcs/exp/campaign.hpp"
+#include "mcs/exp/validation.hpp"
 #include "mcs/gen/textio.hpp"
 #include "mcs/model/validation.hpp"
 #include "mcs/sim/simulator.hpp"
@@ -47,6 +64,8 @@
 using namespace mcs;
 
 namespace {
+
+constexpr const char* kVersion = "0.5.0";
 
 struct Options {
   std::string path;
@@ -57,6 +76,8 @@ struct Options {
   bool trace = false;
   bool dump_config = false;
   std::string campaign;  ///< spec path; non-empty selects campaign mode
+  std::string validate;  ///< spec path; non-empty selects validation mode
+  std::string faults;    ///< fault-spec path (single-system or validation)
   std::optional<std::size_t> jobs;
   std::string report_json;
   std::string report_csv;
@@ -65,18 +86,30 @@ struct Options {
 void usage() {
   std::fprintf(stderr,
                "usage: mcs_synth <system.mcs> [--strategy sf|os|or] "
-               "[--conservative] [--paper-ttp] [--simulate] [--trace] "
-               "[--dump-config]\n"
+               "[--conservative] [--paper-ttp] [--simulate] "
+               "[--faults <spec>] [--trace] [--dump-config]\n"
                "       mcs_synth --campaign <spec> [--jobs N] "
-               "[--report-json <file>] [--report-csv <file>]\n");
+               "[--report-json <file>] [--report-csv <file>]\n"
+               "       mcs_synth --validate <spec> [--faults <spec>] "
+               "[--jobs N] [--report-json <file>] [--report-csv <file>]\n"
+               "       mcs_synth --version\n");
 }
 
 bool parse_args(int argc, char** argv, Options& options) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--campaign") {
+    if (arg == "--version") {
+      std::printf("mcs_synth %s\n", kVersion);
+      std::exit(0);
+    } else if (arg == "--campaign") {
       if (++i >= argc) return false;
       options.campaign = argv[i];
+    } else if (arg == "--validate") {
+      if (++i >= argc) return false;
+      options.validate = argv[i];
+    } else if (arg == "--faults") {
+      if (++i >= argc) return false;
+      options.faults = argv[i];
     } else if (arg == "--jobs") {
       if (++i >= argc) return false;
       char* end = nullptr;
@@ -121,8 +154,11 @@ bool parse_args(int argc, char** argv, Options& options) {
       return false;
     }
   }
-  // Exactly one mode: a system file or a campaign spec.
-  return options.path.empty() != options.campaign.empty();
+  // Exactly one mode: a system file, a campaign spec or a validation spec.
+  const int modes = (!options.path.empty() ? 1 : 0) +
+                    (!options.campaign.empty() ? 1 : 0) +
+                    (!options.validate.empty() ? 1 : 0);
+  return modes == 1;
 }
 
 int run_campaign_mode(const Options& options) {
@@ -157,6 +193,65 @@ int run_campaign_mode(const Options& options) {
     std::printf("wrote %s\n", options.report_csv.c_str());
   }
   return 0;
+}
+
+int run_validation_mode(const Options& options) {
+  exp::ValidationSpec spec = exp::parse_validation_spec_file(options.validate);
+  if (!options.faults.empty()) {
+    spec.scenarios.push_back(sim::parse_fault_spec_file(options.faults));
+  }
+  if (options.jobs) spec.jobs = *options.jobs;
+
+  const exp::ValidationResult result = exp::run_validation(spec);
+
+  std::printf(
+      "validation %s: suite %s, strategy %s, %zu jobs on %zu worker(s), "
+      "%zu scenario(s), %.2f s\n\n",
+      spec.name.c_str(), spec.suite.c_str(),
+      exp::to_string(spec.strategy).c_str(), result.jobs.size(),
+      result.workers, spec.scenarios.size(), result.wall_seconds);
+  result.summary_table().print(std::cout);
+  std::printf("\nsignature: %016llx (thread-count invariant)\n",
+              static_cast<unsigned long long>(result.signature()));
+
+  // Every fault-free bound violation is a soundness bug; print the
+  // replayable coordinates so the instance can be regenerated exactly.
+  for (const exp::ValidationJob& job : result.jobs) {
+    for (const sim::BoundViolation& v : job.violations) {
+      std::printf(
+          "BOUND VIOLATION: %s simulated %lld > bound %lld "
+          "(suite %s, system_seed %llu, strategy %s) \n",
+          v.activity.c_str(), static_cast<long long>(v.simulated),
+          static_cast<long long>(v.bound), spec.suite.c_str(),
+          static_cast<unsigned long long>(job.system_seed),
+          exp::to_string(spec.strategy).c_str());
+    }
+    if (job.status == exp::JobStatus::Failed) {
+      std::printf("job %zu (system_seed %llu) failed: %s\n", job.job_index,
+                  static_cast<unsigned long long>(job.system_seed),
+                  job.error.c_str());
+    }
+  }
+
+  if (!options.report_json.empty()) {
+    std::ofstream out(options.report_json);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", options.report_json.c_str());
+      return 1;
+    }
+    exp::write_json(result, out);
+    std::printf("wrote %s\n", options.report_json.c_str());
+  }
+  if (!options.report_csv.empty()) {
+    std::ofstream out(options.report_csv);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", options.report_csv.c_str());
+      return 1;
+    }
+    exp::write_csv(result, out);
+    std::printf("wrote %s\n", options.report_csv.c_str());
+  }
+  return result.total_violations() == 0 ? 0 : 1;
 }
 
 void report(const gen::ParsedSystem& sys, const core::Candidate& candidate,
@@ -239,6 +334,32 @@ void report(const gen::ParsedSystem& sys, const core::Candidate& candidate,
     }
     check.print(std::cout);
     if (options.trace) std::printf("\n%s", sim.trace.to_string().c_str());
+
+    if (!options.faults.empty()) {
+      const sim::FaultSpec faults = sim::parse_fault_spec_file(options.faults);
+      const auto faulted = sim::simulate(sys.app, sys.platform, cfg,
+                                         eval.mcs.schedule, sim_options, faults);
+      std::printf(
+          "\nfault scenario %s (seed %llu): %s, %lld fault(s) injected, "
+          "%zu deadline miss(es), %zu message(s) lost, %zu violation(s)\n",
+          faults.name.c_str(), static_cast<unsigned long long>(faults.seed),
+          sim::to_string(faulted.status), static_cast<long long>(faulted.faults.total()),
+          faulted.deadline_misses.size(), faulted.lost_messages.size(),
+          faulted.violations.size());
+      for (const auto& m : faulted.lost_messages) {
+        std::printf("  lost: %s\n", m.c_str());
+      }
+      util::Table degraded({"graph", "fault-free response", "faulted response",
+                            "deadline"});
+      for (std::size_t gi = 0; gi < sys.app.num_graphs(); ++gi) {
+        degraded.add_row({sys.app.graphs()[gi].name,
+                          util::Table::fmt(sim.graph_response[gi]),
+                          util::Table::fmt(faulted.graph_response[gi]),
+                          util::Table::fmt(sys.app.graphs()[gi].deadline)});
+      }
+      degraded.print(std::cout);
+      if (options.trace) std::printf("\n%s", faulted.trace.to_string().c_str());
+    }
   }
 }
 
@@ -252,6 +373,10 @@ int main(int argc, char** argv) {
   }
   try {
     if (!options.campaign.empty()) return run_campaign_mode(options);
+    if (!options.validate.empty()) return run_validation_mode(options);
+
+    // A fault sweep only makes sense against a simulated run.
+    if (!options.faults.empty()) options.simulate = true;
 
     const gen::ParsedSystem sys = gen::parse_system_file(options.path);
     const auto validation = model::validate(sys.app, sys.platform);
