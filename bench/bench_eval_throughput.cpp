@@ -12,8 +12,25 @@
 //                     AnalysisWorkspace, buffers reset in place;
 //   workspace+cache — MoveContext::evaluate: the memoized hot path.
 //
+// A second pair of sequences measures the CACHE-MISS path the delta
+// analysis (DESIGN.md §2) targets — every visit is one move away from the
+// previous one, so the trajectory replay has a warm base and a small
+// dirty set, and no visit repeats, so the evaluation cache never hits:
+//
+//   local walk — single-cluster-local moves only (ETC priority swaps),
+//                the delta fast path: full vs delta (speedup_delta_local);
+//   mixed walk — every move kind, so TDMA/TTC moves interleave cold
+//                fallbacks with delta runs (speedup_delta_mixed).
+//
+// Each walk runs in three configurations: `seed` (Reference kernel, delta
+// off — the pre-SoA, pre-delta miss path this PR started from), `full`
+// (packed kernel, delta off) and `delta` (packed kernel, delta on).
+// speedup_local_vs_seed / speedup_mixed_vs_seed are the before/after
+// numbers for the miss path as a whole; speedup_delta_* isolate the delta
+// machinery against the already-packed full analysis.
+//
 // Emits BENCH_eval_throughput.json (consumed by CI as a perf artifact) and
-// fails loudly if the three paths disagree on any evaluation, making the
+// fails loudly if any two paths disagree on any evaluation, making the
 // bench double as an end-to-end consistency check.
 //
 //   MCS_BENCH_EVAL_VISITS=N   length of the visit sequence  (default 512)
@@ -22,6 +39,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -112,12 +130,80 @@ ModeResult run_workspace(const core::MoveContext& ctx,
   return r;
 }
 
+/// A walk where every visit is the previous one plus ONE ETC priority
+/// swap between two processes on the same node — the single-cluster-local
+/// neighborhood where the delta analysis replays everything but one pool.
+std::vector<core::Candidate> make_local_walk(const core::MoveContext& ctx,
+                                             std::size_t num_visits) {
+  util::Rng rng(7177);
+  std::vector<std::pair<util::ProcessId, util::ProcessId>> pairs;
+  const auto& procs = ctx.et_processes();
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    for (std::size_t j = i + 1; j < procs.size(); ++j) {
+      if (ctx.app().process(procs[i]).node == ctx.app().process(procs[j]).node) {
+        pairs.emplace_back(procs[i], procs[j]);
+      }
+    }
+  }
+
+  std::vector<core::Candidate> walk;
+  core::Candidate current = core::Candidate::initial(ctx.app(), ctx.platform());
+  walk.push_back(current);
+  while (!pairs.empty() && walk.size() < num_visits) {
+    const auto [a, b] = pairs[rng.index(pairs.size())];
+    if (!ctx.apply(core::SwapProcessPrioritiesMove{a, b}, current)) continue;
+    walk.push_back(current);
+  }
+  return walk;
+}
+
+/// A walk over every move kind (the SA neighborhood): priority swaps stay
+/// delta-eligible, TDMA resizes/swaps and TTC shifts force cold fallbacks.
+std::vector<core::Candidate> make_mixed_walk(const core::MoveContext& ctx,
+                                             std::size_t num_visits) {
+  util::Rng rng(9311);
+  std::vector<core::Candidate> walk;
+  core::Candidate current = core::Candidate::initial(ctx.app(), ctx.platform());
+  const core::Evaluation base_eval = ctx.evaluate_uncached(current);
+  walk.push_back(current);
+  while (walk.size() < num_visits) {
+    const core::Move move = ctx.random_move(current, base_eval, rng);
+    if (!ctx.apply(move, current)) continue;
+    walk.push_back(current);
+  }
+  return walk;
+}
+
+/// One miss-path measurement: replays `walk` through evaluate_uncached
+/// (no memoization anywhere) with the workspace's delta machinery set to
+/// `mode`.  A fresh MoveContext per call so no base trajectory leaks
+/// between modes.
+ModeResult run_walk(const Instance& inst,
+                    const std::vector<core::Candidate>& walk,
+                    core::DeltaMode mode,
+                    core::AnalysisKernel kernel = core::AnalysisKernel::Packed) {
+  core::McsOptions options;
+  options.analysis.kernel = kernel;
+  const core::MoveContext ctx(inst.app, inst.platform, options);
+  ctx.workspace().set_delta_mode(mode);
+  ModeResult r;
+  const bench::Stopwatch watch;
+  for (const core::Candidate& cand : walk) {
+    r.checksum += eval_checksum(ctx.evaluate_uncached(cand));
+  }
+  r.seconds = watch.seconds();
+  r.evals_per_sec = static_cast<double>(walk.size()) / r.seconds;
+  return r;
+}
+
 struct InstanceReport {
   std::string name;
   std::size_t processes = 0;
   std::size_t messages = 0;
   std::size_t visits = 0;
   ModeResult baseline, workspace, workspace_cache;
+  ModeResult local_seed, local_full, local_delta;
+  ModeResult mixed_seed, mixed_full, mixed_delta;
   double cache_hit_rate = 0.0;
   bool consistent = false;
 };
@@ -143,18 +229,40 @@ InstanceReport run_instance(const Instance& inst, std::size_t num_visits) {
   report.cache_hit_rate =
       static_cast<double>(ctx.evaluation_cache().hits() - hits_before) /
       static_cast<double>(lookups);
+  // Miss-path walks: delta vs full on identical visit sequences.  The
+  // checksums double as a differential check over the whole walk.
+  const auto local_walk = make_local_walk(ctx, num_visits);
+  const auto mixed_walk = make_mixed_walk(ctx, num_visits);
+  report.local_seed = run_walk(inst, local_walk, core::DeltaMode::Off,
+                               core::AnalysisKernel::Reference);
+  report.local_full = run_walk(inst, local_walk, core::DeltaMode::Off);
+  report.local_delta = run_walk(inst, local_walk, core::DeltaMode::On);
+  report.mixed_seed = run_walk(inst, mixed_walk, core::DeltaMode::Off,
+                               core::AnalysisKernel::Reference);
+  report.mixed_full = run_walk(inst, mixed_walk, core::DeltaMode::Off);
+  report.mixed_delta = run_walk(inst, mixed_walk, core::DeltaMode::On);
+
   report.consistent = report.baseline.checksum == report.workspace.checksum &&
-                      report.baseline.checksum == report.workspace_cache.checksum;
+                      report.baseline.checksum == report.workspace_cache.checksum &&
+                      report.local_seed.checksum == report.local_full.checksum &&
+                      report.local_full.checksum == report.local_delta.checksum &&
+                      report.mixed_seed.checksum == report.mixed_full.checksum &&
+                      report.mixed_full.checksum == report.mixed_delta.checksum;
 
   std::printf(
       "%-14s %4zu procs %4zu msgs | baseline %9.0f/s | workspace %9.0f/s (%.2fx) "
-      "| +cache %9.0f/s (%.2fx, %.0f%% hits) | %s\n",
+      "| +cache %9.0f/s (%.2fx, %.0f%% hits) | miss-path local %.2fx vs seed "
+      "(delta %.2fx) mixed %.2fx vs seed (delta %.2fx) | %s\n",
       inst.name.c_str(), report.processes, report.messages,
       report.baseline.evals_per_sec, report.workspace.evals_per_sec,
       report.workspace.evals_per_sec / report.baseline.evals_per_sec,
       report.workspace_cache.evals_per_sec,
       report.workspace_cache.evals_per_sec / report.baseline.evals_per_sec,
       100.0 * report.cache_hit_rate,
+      report.local_delta.evals_per_sec / report.local_seed.evals_per_sec,
+      report.local_delta.evals_per_sec / report.local_full.evals_per_sec,
+      report.mixed_delta.evals_per_sec / report.mixed_seed.evals_per_sec,
+      report.mixed_delta.evals_per_sec / report.mixed_full.evals_per_sec,
       report.consistent ? "results identical" : "RESULTS DIFFER");
   return report;
 }
@@ -216,10 +324,24 @@ int main() {
     append_mode(out, "baseline", r.baseline, true);
     append_mode(out, "workspace", r.workspace, true);
     append_mode(out, "workspace_cache", r.workspace_cache, true);
+    append_mode(out, "miss_local_seed", r.local_seed, true);
+    append_mode(out, "miss_local_full", r.local_full, true);
+    append_mode(out, "miss_local_delta", r.local_delta, true);
+    append_mode(out, "miss_mixed_seed", r.mixed_seed, true);
+    append_mode(out, "miss_mixed_full", r.mixed_full, true);
+    append_mode(out, "miss_mixed_delta", r.mixed_delta, true);
     out << "      \"speedup_workspace\": "
         << r.workspace.evals_per_sec / r.baseline.evals_per_sec
         << ",\n      \"speedup_total\": "
         << r.workspace_cache.evals_per_sec / r.baseline.evals_per_sec
+        << ",\n      \"speedup_local_vs_seed\": "
+        << r.local_delta.evals_per_sec / r.local_seed.evals_per_sec
+        << ",\n      \"speedup_mixed_vs_seed\": "
+        << r.mixed_delta.evals_per_sec / r.mixed_seed.evals_per_sec
+        << ",\n      \"speedup_delta_local\": "
+        << r.local_delta.evals_per_sec / r.local_full.evals_per_sec
+        << ",\n      \"speedup_delta_mixed\": "
+        << r.mixed_delta.evals_per_sec / r.mixed_full.evals_per_sec
         << ",\n      \"cache_hit_rate\": " << r.cache_hit_rate
         << ",\n      \"consistent\": " << (r.consistent ? "true" : "false")
         << "\n    }" << (i + 1 < reports.size() ? "," : "") << "\n";

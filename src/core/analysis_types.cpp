@@ -1,5 +1,7 @@
 #include "mcs/core/analysis_types.hpp"
 
+#include <sstream>
+
 namespace mcs::core {
 
 MessageRoute classify_route(const model::Application& app,
@@ -41,6 +43,57 @@ bool is_schedulable(const model::Application& app, const AnalysisResult& result,
     if (completion > *p.local_deadline) return false;
   }
   return true;
+}
+
+namespace {
+
+template <typename T>
+bool same_field(const char* name, const T& a, const T& b, std::string* why) {
+  if (a == b) return true;
+  if (why != nullptr) {
+    std::ostringstream os;
+    os << "AnalysisResult::" << name << " differs";
+    *why = os.str();
+  }
+  return false;
+}
+
+}  // namespace
+
+bool bit_identical(const AnalysisResult& a, const AnalysisResult& b,
+                   std::string* why) {
+  return same_field("converged", a.converged, b.converged, why) &&
+         same_field("outer_iterations", a.outer_iterations, b.outer_iterations,
+                    why) &&
+         same_field("diverged_activities", a.diverged_activities,
+                    b.diverged_activities, why) &&
+         same_field("process_offsets", a.process_offsets, b.process_offsets,
+                    why) &&
+         same_field("message_offsets", a.message_offsets, b.message_offsets,
+                    why) &&
+         same_field("process_response", a.process_response, b.process_response,
+                    why) &&
+         same_field("process_jitter", a.process_jitter, b.process_jitter, why) &&
+         same_field("process_interference", a.process_interference,
+                    b.process_interference, why) &&
+         same_field("message_response", a.message_response, b.message_response,
+                    why) &&
+         same_field("message_jitter", a.message_jitter, b.message_jitter, why) &&
+         same_field("message_queue_delay", a.message_queue_delay,
+                    b.message_queue_delay, why) &&
+         same_field("message_ttp_wait", a.message_ttp_wait, b.message_ttp_wait,
+                    why) &&
+         same_field("message_bytes_ahead", a.message_bytes_ahead,
+                    b.message_bytes_ahead, why) &&
+         same_field("message_delivery", a.message_delivery, b.message_delivery,
+                    why) &&
+         same_field("graph_response", a.graph_response, b.graph_response, why) &&
+         same_field("buffers.out_can", a.buffers.out_can, b.buffers.out_can,
+                    why) &&
+         same_field("buffers.out_ttp", a.buffers.out_ttp, b.buffers.out_ttp,
+                    why) &&
+         same_field("buffers.out_node", a.buffers.out_node, b.buffers.out_node,
+                    why);
 }
 
 }  // namespace mcs::core

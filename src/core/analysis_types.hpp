@@ -36,6 +36,19 @@ enum class TtpQueueModel {
   PaperFormula,
 };
 
+/// Which implementation runs the quadratic recurrence passes (ETC node
+/// interference, CAN arbitration).  Both are bit-identical by contract;
+/// `tests/core/soa_layout_test.cpp` enforces it.
+enum class AnalysisKernel {
+  /// Structure-of-arrays kernel: per-pool state gathered into contiguous
+  /// parallel arrays with precomputed interference-pair classes, so the
+  /// inner summations are branch-light and vectorizable.
+  Packed,
+  /// The original scalar reference implementation, kept as the oracle
+  /// baseline for differential tests.
+  Reference,
+};
+
 struct AnalysisOptions {
   /// Precedence/offset-window pruning of impossible interference (needed
   /// to reproduce the w_m2 = w_m3 = 10 values of Figure 4a).  With false
@@ -43,6 +56,8 @@ struct AnalysisOptions {
   bool offset_pruning = true;
 
   TtpQueueModel ttp_queue_model = TtpQueueModel::Exact;
+
+  AnalysisKernel kernel = AnalysisKernel::Packed;
 
   /// Adds the gateway transfer process response time r_T to the OutTTP
   /// arrival of ETC->TTC messages.  The paper's worked example does not
@@ -57,6 +72,18 @@ struct AnalysisOptions {
   /// Number of activities whose recurrence had to be capped is reported
   /// in AnalysisResult::diverged_activities.
 };
+
+/// Field-wise equality; part of the delta-eligibility fingerprint (a
+/// cached trajectory recorded under different options must never be
+/// reused).
+[[nodiscard]] constexpr bool same_options(const AnalysisOptions& a,
+                                          const AnalysisOptions& b) noexcept {
+  return a.offset_pruning == b.offset_pruning &&
+         a.ttp_queue_model == b.ttp_queue_model && a.kernel == b.kernel &&
+         a.charge_transfer_on_et_to_tt == b.charge_transfer_on_et_to_tt &&
+         a.max_outer_iterations == b.max_outer_iterations &&
+         a.max_recurrence_iterations == b.max_recurrence_iterations;
+}
 
 /// Worst-case buffer bounds in bytes (paper §4.1.1–4.1.2).
 struct BufferBounds {
@@ -122,5 +149,12 @@ struct AnalysisResult {
 [[nodiscard]] bool is_schedulable(const model::Application& app,
                                   const AnalysisResult& result,
                                   const std::vector<util::Time>& process_offsets);
+
+/// Exact (bitwise) equality over every reported quantity.  The delta
+/// analysis promises results indistinguishable from a cold run; this is
+/// the comparison the differential oracle and MCS_DELTA_CHECK use.  When
+/// `why` is non-null a first-difference description is written on failure.
+[[nodiscard]] bool bit_identical(const AnalysisResult& a, const AnalysisResult& b,
+                                 std::string* why = nullptr);
 
 }  // namespace mcs::core

@@ -1,7 +1,11 @@
 #include "mcs/core/analysis_workspace.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
 
+#include "mcs/util/hash.hpp"
 #include "mcs/util/math.hpp"
 
 namespace mcs::core {
@@ -11,6 +15,20 @@ using util::GraphId;
 using util::MessageId;
 using util::ProcessId;
 using util::Time;
+
+DeltaMode delta_mode_from_env() noexcept {
+  if (const char* check = std::getenv("MCS_DELTA_CHECK")) {
+    if (std::strcmp(check, "0") != 0 && std::strcmp(check, "off") != 0) {
+      return DeltaMode::Check;
+    }
+  }
+  if (const char* delta = std::getenv("MCS_DELTA")) {
+    if (std::strcmp(delta, "0") == 0 || std::strcmp(delta, "off") == 0) {
+      return DeltaMode::Off;
+    }
+  }
+  return DeltaMode::On;
+}
 
 AnalysisWorkspace::AnalysisWorkspace(const Application& app,
                                      const arch::Platform& platform)
@@ -83,6 +101,108 @@ void AnalysisWorkspace::build() {
 
   empty_ttc_.process_start.assign(app.num_processes(), 0);
   empty_ttc_.message_slot.assign(app.num_messages(), std::nullopt);
+
+  // Structure-of-arrays pools for the quadratic recurrence passes.  Pool
+  // order matches the scalar reference iteration order exactly (bit-for-bit
+  // Gauss-Seidel equivalence depends on it).  Pair classes bake the static
+  // parts of the pruning predicates (graph membership, reachability,
+  // periods, shared sender) into one byte per ordered pair.
+  std::size_t max_pool = can_messages_.size();
+  for (const auto& procs : et_procs_by_node_) {
+    if (procs.empty()) continue;
+    ProcPool pool;
+    pool.node = app.process(procs.front()).node;
+    pool.pids = procs;
+    const std::size_t n = procs.size();
+    pool.wcet.resize(n);
+    pool.period.resize(n);
+    pool.pair.assign(n * n, kPairWindow);
+    for (std::size_t x = 0; x < n; ++x) {
+      pool.wcet[x] = app.process(procs[x]).wcet;
+      pool.period[x] = app.period_of(procs[x]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const ProcessId pi = procs[i];
+        const ProcessId pj = procs[j];
+        std::uint8_t cls = kPairWindow;
+        if (app.process(pj).graph == app.process(pi).graph &&
+            reach_->related(pj, pi)) {
+          cls = kPairPruned;
+        } else if (pool.period[j] != pool.period[i]) {
+          cls = kPairAlways;
+        }
+        pool.pair[i * n + j] = cls;
+      }
+    }
+    max_pool = std::max(max_pool, n);
+    proc_pools_.push_back(std::move(pool));
+  }
+
+  {
+    const std::size_t n = can_messages_.size();
+    can_pool_.mids = can_messages_;
+    can_pool_.tx.resize(n);
+    can_pool_.period.resize(n);
+    can_pool_.is_et_to_tt.resize(n);
+    can_pool_.interfere.assign(n * n, kPairWindow);
+    can_pool_.block.assign(n * n, kPairWindow);
+    const auto related = [&](MessageId a, MessageId b) {
+      const model::Message& ma = app.message(a);
+      const model::Message& mb = app.message(b);
+      return reach_->reaches(ma.dst, mb.src) || reach_->reaches(mb.dst, ma.src);
+    };
+    can_pool_.index.assign(app.num_messages(),
+                           std::numeric_limits<std::size_t>::max());
+    for (std::size_t x = 0; x < n; ++x) {
+      const MessageId m = can_messages_[x];
+      can_pool_.tx[x] = can_tx_[m.index()];
+      can_pool_.period[x] = app.period_of(m);
+      can_pool_.is_et_to_tt[x] = routes_[m.index()] == MessageRoute::EtToTt;
+      can_pool_.index[m.index()] = x;
+    }
+    for (std::size_t mi = 0; mi < n; ++mi) {
+      for (std::size_t ji = 0; ji < n; ++ji) {
+        if (mi == ji) continue;
+        const MessageId m = can_messages_[mi];
+        const MessageId j = can_messages_[ji];
+        const bool same_graph = app.message(m).graph == app.message(j).graph;
+        const bool fixed_phase = can_pool_.period[mi] == can_pool_.period[ji];
+        std::uint8_t interfere = kPairWindow;
+        if (same_graph && related(j, m)) {
+          interfere = kPairPruned;
+        } else if (!fixed_phase) {
+          interfere = kPairAlways;
+        }
+        can_pool_.interfere[mi * n + ji] = interfere;
+        std::uint8_t block = kPairWindow;
+        if (app.message(j).src == app.message(m).src) {
+          block = kPairPruned;
+        } else if (same_graph && related(j, m)) {
+          block = kPairPruned;
+        } else if (!fixed_phase) {
+          block = kPairAlways;
+        }
+        can_pool_.block[mi * n + ji] = block;
+      }
+    }
+  }
+
+  packed_scratch_.o.resize(max_pool);
+  packed_scratch_.e.resize(max_pool);
+  packed_scratch_.j.resize(max_pool);
+  packed_scratch_.w.resize(max_pool);
+  packed_scratch_.r.resize(max_pool);
+  packed_scratch_.d.resize(max_pool);
+  packed_scratch_.prio.resize(max_pool);
+  packed_scratch_.mask.resize(max_pool);
+  packed_scratch_.cand_j.resize(max_pool);
+  packed_scratch_.cand_phase.resize(max_pool);
+  packed_scratch_.cand_period.resize(max_pool);
+  packed_scratch_.cand_span.resize(max_pool);
+  packed_scratch_.cand_cost.resize(max_pool);
+  prio_changed_scratch_.resize(app.num_processes());
 }
 
 AnalysisWorkspace::State& AnalysisWorkspace::reset_state() {
@@ -102,6 +222,29 @@ AnalysisWorkspace::State& AnalysisWorkspace::reset_state() {
   state_.ttp_wait.assign(nm, 0);
   state_.i_m.assign(nm, 0);
   return state_;
+}
+
+std::uint64_t state_hash(const AnalysisWorkspace::State& state) {
+  util::Fnv1a h;
+  const auto mix = [&h](const std::vector<Time>& v) {
+    h.update(static_cast<std::int64_t>(v.size()));
+    for (const Time t : v) h.update(t);
+  };
+  mix(state.o_p);
+  mix(state.e_p);
+  mix(state.j_p);
+  mix(state.w_p);
+  mix(state.r_p);
+  mix(state.o_m);
+  mix(state.e_m);
+  mix(state.j_m);
+  mix(state.w_m);
+  mix(state.r_m);
+  mix(state.d_m);
+  mix(state.ttp_wait);
+  h.update(static_cast<std::int64_t>(state.i_m.size()));
+  for (const std::int64_t b : state.i_m) h.update(b);
+  return h.digest();
 }
 
 }  // namespace mcs::core

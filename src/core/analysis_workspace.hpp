@@ -1,5 +1,5 @@
 // AnalysisWorkspace — candidate-invariant precomputation and reusable
-// buffers for the analysis hot path (see DESIGN.md §1).
+// buffers for the analysis hot path (see DESIGN.md §1 and §2).
 //
 // The optimizers (HOPA, OS, OR, SAS/SAR) call the MultiClusterScheduling
 // fixed point thousands of times on ONE application/platform pair; only
@@ -13,11 +13,25 @@
 //   * ET processes grouped by node, topological orders per graph,
 //   * the precedence reachability closure,
 //   * the gateway transfer WCET and the divergence cap,
-//   * an empty TTC schedule for pure-ET analyses.
+//   * an empty TTC schedule for pure-ET analyses,
+//   * structure-of-arrays pools for the quadratic recurrence passes
+//     (WCETs/periods/frame times packed contiguously, plus precomputed
+//     interference-pair classes so the inner loops never chase the
+//     reachability index),
+//   * trajectory storage for the incremental (delta) re-analysis.
 //
 // The workspace additionally owns the fixed-point State buffers (13
 // vectors over processes/messages) which are RESET, not reallocated, on
 // every analysis call, and scratch vectors for the buffer-bound pass.
+//
+// Delta analysis (DESIGN.md §2): when `delta_mode()` is On, the
+// MultiClusterScheduling overload taking a workspace records the exact
+// per-pass trajectory of each run and, on the next run, recomputes only
+// the components (ETC node pools, the CAN bus, the OutTTP drain) whose
+// pass inputs differ from the recorded base — everything else replays the
+// stored values.  The replay is a faithful memoization, not a warm
+// start, so results are bit-identical to a cold run by construction.
+// Mode Check runs delta AND cold and throws on any difference.
 //
 // Ownership contract (DESIGN.md §4): a workspace is SINGLE-THREADED by
 // design — one search loop, one workspace, owned by exactly one thread
@@ -31,13 +45,38 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "mcs/arch/ttp.hpp"
 #include "mcs/core/analysis_types.hpp"
 #include "mcs/model/process_graph.hpp"
 #include "mcs/sched/list_scheduler.hpp"
 
 namespace mcs::core {
+
+/// Incremental-evaluation policy of the MultiClusterScheduling overload
+/// that reuses a workspace.  Off = always cold (the seed behavior); On =
+/// trajectory-replay delta with automatic fallback; Check = run delta and
+/// cold, compare bitwise, throw std::logic_error on any mismatch.
+enum class DeltaMode { Off, On, Check };
+
+/// Resolves the mode from the environment: MCS_DELTA_CHECK=1 selects
+/// Check, MCS_DELTA=0/off selects Off, otherwise On.
+[[nodiscard]] DeltaMode delta_mode_from_env() noexcept;
+
+/// Counters of the incremental-evaluation machinery (per workspace).
+struct DeltaStats {
+  std::uint64_t full_runs = 0;      ///< cold MCS runs (incl. fallbacks)
+  std::uint64_t delta_runs = 0;     ///< trajectory-replay MCS runs
+  std::uint64_t fallbacks = 0;      ///< delta-ineligible (tdma/pins/options moved)
+  std::uint64_t checked = 0;        ///< Check-mode comparisons performed
+  std::uint64_t mismatches = 0;     ///< Check-mode divergences detected
+  std::uint64_t schedule_memo_hits = 0;   ///< list_schedule calls skipped
+  std::uint64_t elided_iterations = 0;    ///< provably-redundant MCS iterations
+  std::uint64_t components_skipped = 0;   ///< pass components replayed from base
+  std::uint64_t components_recomputed = 0;
+};
 
 class AnalysisWorkspace {
 public:
@@ -108,6 +147,61 @@ public:
     return empty_ttc_;
   }
 
+  // --- structure-of-arrays recurrence pools ---------------------------
+  /// Interference-pair classification, decided from statics alone (graph
+  /// membership, reachability, periods, sender): the packed kernels
+  /// branch on one byte instead of re-deriving the pruning predicates.
+  /// Window still needs the per-pass state check; Always/Pruned are final.
+  enum PairClass : std::uint8_t { kPairWindow = 0, kPairAlways = 1, kPairPruned = 2 };
+
+  /// One ETC node's processes with their static quantities packed in pool
+  /// order (the order the Gauss-Seidel recurrence visits them).
+  struct ProcPool {
+    util::NodeId node = util::NodeId::invalid();
+    std::vector<util::ProcessId> pids;
+    std::vector<util::Time> wcet;
+    std::vector<util::Time> period;
+    /// pair[i*n + j]: class of pool member j interfering with member i.
+    std::vector<std::uint8_t> pair;
+  };
+
+  /// The CAN arbitration pool (all CAN-borne messages, pool order).
+  struct CanPool {
+    std::vector<util::MessageId> mids;
+    std::vector<util::Time> tx;
+    std::vector<util::Time> period;
+    std::vector<std::uint8_t> is_et_to_tt;
+    /// index[message.index()]: position in `mids`, or npos for non-CAN
+    /// messages.  Lets the FIFO/buffer passes reuse the interfere classes
+    /// for their (sub)pools instead of re-deriving graph reachability.
+    std::vector<std::size_t> index;
+    /// interfere[m*n + j]: class of j interfering with m (hp preemption).
+    std::vector<std::uint8_t> interfere;
+    /// block[m*n + k]: class of k blocking m (lp non-preemptive start).
+    std::vector<std::uint8_t> block;
+  };
+
+  [[nodiscard]] const std::vector<ProcPool>& proc_pools() const noexcept {
+    return proc_pools_;
+  }
+  [[nodiscard]] const CanPool& can_pool() const noexcept { return can_pool_; }
+
+  /// Reusable gather buffers for the packed kernels (sized to the largest
+  /// pool at build time).
+  struct PackedScratch {
+    std::vector<util::Time> o, e, j, w, r, d;
+    std::vector<Priority> prio;
+    std::vector<std::uint8_t> mask;  ///< pass-2 recompute mask (1 = recompute)
+    /// Per-member compacted interference candidates.  The pruning
+    /// predicates and each candidate's phase/span never read the member's
+    /// iterated w (its own window anchors are hoisted), so the kernels
+    /// resolve them ONCE per member and the w-recurrence reduces to a
+    /// tight ceiling-sum over these parallel arrays.
+    std::vector<util::Time> cand_j, cand_phase, cand_period, cand_span,
+        cand_cost;
+  };
+  [[nodiscard]] PackedScratch& packed_scratch() noexcept { return packed_scratch_; }
+
   // --- reusable fixed-point state -------------------------------------
   /// All mutable per-activity state of one analysis run.  Owned by the
   /// workspace so repeated runs reuse the allocations.
@@ -122,6 +216,109 @@ public:
   /// Zeroes the state (std::vector::assign keeps capacity: no allocation
   /// after the first call) and returns it.
   [[nodiscard]] State& reset_state();
+
+  // --- delta-analysis trajectory storage ------------------------------
+  /// Snapshot of one outer fixed-point pass: the state at the pass
+  /// boundary plus the mid-pass values the dirtiness checks need (r_p and
+  /// d_m after propagation, r_m after CAN arbitration) and the
+  /// divergence-counter increments each component contributed, so a
+  /// replayed component reproduces the diverged accounting exactly.
+  struct PassSnapshot {
+    State end;                        ///< state after pass 4
+    std::vector<util::Time> r_p_mid;  ///< r_p after pass 1
+    std::vector<util::Time> d_m_mid;  ///< d_m after pass 1
+    std::vector<util::Time> r_m_mid;  ///< r_m after pass 3
+    std::vector<std::int32_t> p2_div; ///< per-process pass-2 increments
+    std::int32_t can_div = 0;         ///< pass-3 increment
+    std::int32_t ttp_div = 0;         ///< pass-4 increment
+  };
+
+  /// Recorded trajectory of one response-time-analysis run.  `used`
+  /// passes are valid (buffers beyond it are retained capacity);
+  /// `complete` means every executed pass was captured, so the last
+  /// snapshot IS the final state (required for the buffer-bound replay).
+  struct RtaTrajectory {
+    std::vector<PassSnapshot> passes;
+    std::size_t used = 0;
+    bool complete = false;
+    BufferBounds bounds;
+    bool bounds_valid = false;
+  };
+
+  /// Trajectories longer than this are captured up to the cap; delta runs
+  /// recompute the uncovered tail (still exact, just not incremental).
+  /// Bounds memory on pathological non-converging systems.
+  static constexpr std::size_t kMaxStoredPasses = 24;
+
+  /// One MultiClusterScheduling iteration of the recorded base run.
+  struct McsIterRecord {
+    std::vector<util::Time> constraints_release;  ///< as fed to list_schedule
+    sched::TtcSchedule schedule;
+    RtaTrajectory traj;
+  };
+
+  /// The recorded base MCS run plus its delta-eligibility fingerprint.
+  /// Priorities are NOT part of the fingerprint — they are what the
+  /// per-component dirtiness propagates; everything else mismatching
+  /// forces the cold fallback (which re-captures a fresh base).
+  struct McsBase {
+    bool valid = false;
+    // Fingerprint.
+    std::vector<arch::Slot> tdma_slots;
+    std::vector<util::Time> pins_release, pins_tx;
+    AnalysisOptions analysis_options;
+    int max_iterations = 0;
+    // The diffed genotype part.
+    std::vector<Priority> process_priorities;
+    std::vector<Priority> message_priorities;
+    // Iteration records; iter_record maps loop index -> record index so
+    // elided iterations alias the record they replay.
+    std::vector<McsIterRecord> records;
+    std::size_t records_used = 0;
+    std::vector<std::size_t> iter_record;
+  };
+
+  [[nodiscard]] DeltaMode delta_mode() const noexcept { return delta_mode_; }
+  void set_delta_mode(DeltaMode mode) noexcept { delta_mode_ = mode; }
+  [[nodiscard]] DeltaStats& delta_stats() noexcept { return delta_stats_; }
+  [[nodiscard]] const DeltaStats& delta_stats() const noexcept { return delta_stats_; }
+
+  /// The committed base run (internal to multi_cluster_scheduling).
+  [[nodiscard]] McsBase& mcs_base() noexcept { return mcs_base_; }
+  /// The in-progress capture (internal to multi_cluster_scheduling).
+  [[nodiscard]] McsBase& mcs_capture() noexcept { return mcs_capture_; }
+  /// Publishes the capture as the new base (buffer swap, no copies).
+  void commit_mcs_capture() noexcept { std::swap(mcs_base_, mcs_capture_); }
+  /// Drops the recorded base (the next delta-mode run falls back to cold).
+  void invalidate_mcs_base() noexcept {
+    mcs_base_.valid = false;
+    mcs_capture_.valid = false;
+  }
+
+  /// Pass-2 dirtiness scratch (per ProcessId; internal to the analysis).
+  [[nodiscard]] std::vector<std::uint8_t>& prio_changed_scratch() noexcept {
+    return prio_changed_scratch_;
+  }
+
+  // --- convergence trace sink -----------------------------------------
+  /// One fixed-point trace record: the FNV-1a hash of the complete State
+  /// after pass `pass` of MCS iteration `mcs_iteration` (pass -1 records
+  /// the TTC schedule produced at the top of the iteration).  Golden-trace
+  /// regression tests diff these at iteration granularity.
+  struct TraceRecord {
+    int mcs_iteration = 0;
+    int pass = 0;
+    std::uint64_t hash = 0;
+  };
+
+  [[nodiscard]] std::vector<TraceRecord>* trace_sink() const noexcept {
+    return trace_sink_;
+  }
+  void set_trace_sink(std::vector<TraceRecord>* sink) noexcept {
+    trace_sink_ = sink;
+  }
+  [[nodiscard]] int trace_iteration() const noexcept { return trace_iteration_; }
+  void set_trace_iteration(int iteration) noexcept { trace_iteration_ = iteration; }
 
 private:
   void build();
@@ -146,7 +343,23 @@ private:
   util::Time cap_ = 0;
   sched::TtcSchedule empty_ttc_;
 
+  std::vector<ProcPool> proc_pools_;
+  CanPool can_pool_;
+  PackedScratch packed_scratch_;
+
   State state_;
+
+  DeltaMode delta_mode_ = DeltaMode::Off;
+  DeltaStats delta_stats_;
+  McsBase mcs_base_;
+  McsBase mcs_capture_;
+  std::vector<std::uint8_t> prio_changed_scratch_;
+
+  std::vector<TraceRecord>* trace_sink_ = nullptr;
+  int trace_iteration_ = -1;
 };
+
+/// FNV-1a hash of the complete fixed-point state (trace records, tests).
+[[nodiscard]] std::uint64_t state_hash(const AnalysisWorkspace::State& state);
 
 }  // namespace mcs::core

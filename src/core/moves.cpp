@@ -74,6 +74,11 @@ MoveContext::MoveContext(const Application& app, const arch::Platform& platform,
       workspace_(app, platform),
       cache_(eval_cache_capacity),
       slot_lengths_by_node_(platform.num_nodes()) {
+  // Incremental evaluation is an internal policy of the owned workspace:
+  // delta results are bit-identical to cold ones by construction, so the
+  // EvaluationCache stores the same values either way and cached hits,
+  // delta misses and full misses can interleave freely.
+  workspace_.set_delta_mode(delta_mode_from_env());
   for (std::size_t pi = 0; pi < app.num_processes(); ++pi) {
     const ProcessId p(static_cast<ProcessId::underlying_type>(pi));
     if (platform.is_et(app.process(p).node)) {

@@ -140,6 +140,11 @@ public:
   [[nodiscard]] const EvaluationCache& evaluation_cache() const noexcept {
     return cache_;
   }
+  /// Counters of the workspace's incremental-evaluation machinery
+  /// (delta/full runs, fallbacks, Check-mode comparisons; DESIGN.md §2).
+  [[nodiscard]] const DeltaStats& delta_stats() const noexcept {
+    return workspace_.delta_stats();
+  }
 
   /// ETC processes (priority swaps apply to these).
   [[nodiscard]] const std::vector<util::ProcessId>& et_processes() const noexcept {

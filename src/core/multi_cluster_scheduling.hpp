@@ -61,4 +61,10 @@ struct McsOptions {
                                                  SystemConfig& config,
                                                  const McsOptions& options = {});
 
+/// Field-by-field equality of two MCS results (differential testing of
+/// the incremental evaluation; DESIGN.md §2).  On mismatch, `why` (when
+/// non-null) names the first differing field.
+[[nodiscard]] bool bit_identical(const McsResult& a, const McsResult& b,
+                                 std::string* why = nullptr);
+
 }  // namespace mcs::core

@@ -57,6 +57,9 @@ using util::Time;
 /// the divergence cap) guarantees termination.
 using State = AnalysisWorkspace::State;
 
+using PassSnapshot = AnalysisWorkspace::PassSnapshot;
+using RtaTrajectory = AnalysisWorkspace::RtaTrajectory;
+
 /// Per-call view: configuration-dependent quantities plus const references
 /// into the workspace's hoisted invariant structure.
 struct Ctx {
@@ -66,6 +69,7 @@ struct Ctx {
   const sched::TtcSchedule& ttc;
   const AnalysisOptions& opt;
   const model::ReachabilityIndex& reach;
+  AnalysisWorkspace& ws;  ///< pools, packed scratch, delta stats
 
   const std::vector<MessageRoute>& route;
   const std::vector<Time>& can_tx;       ///< C_m on the CAN bus (0 if not CAN-borne)
@@ -137,6 +141,23 @@ void raise(Ctx& ctx, Time& slot, Time value) {
   const Time latest_m = s.o_m[m.index()] + s.j_m[m.index()] + s.w_m[m.index()] +
                         ctx.can_tx[m.index()];
   if (s.d_m[j.index()] <= s.e_m[m.index()]) return false;  // j gone before m exists
+  if (s.e_m[j.index()] >= latest_m) return false;  // j arrives after m is done
+  return true;
+}
+
+/// message_can_interfere with the static parts (graph relation, phase
+/// fixedness) pre-resolved to a pair-class byte from the workspace's CAN
+/// interfere matrix; only the window comparison reads state.  `latest_m`
+/// must be the caller-hoisted o+j+w+tx of m.  Bit-identical to the scalar
+/// predicate above — used by the packed paths of passes that scan message
+/// (sub)pools quadratically.
+[[nodiscard]] bool message_can_interfere_cls(const Ctx& ctx, const State& s,
+                                             std::uint8_t cls, MessageId j,
+                                             Time e_m, Time latest_m) {
+  if (!ctx.opt.offset_pruning) return true;
+  if (cls == AnalysisWorkspace::kPairPruned) return false;
+  if (cls == AnalysisWorkspace::kPairAlways) return true;
+  if (s.d_m[j.index()] <= e_m) return false;       // j gone before m exists
   if (s.e_m[j.index()] >= latest_m) return false;  // j arrives after m is done
   return true;
 }
@@ -314,35 +335,232 @@ void propagate(Ctx& ctx, State& s) {
 /// s.w_p holds the FULL level-i busy window including the process's own
 /// WCET (preemptions landing while the process executes delay it too);
 /// the paper's "interference" I_i = w - C_i is recovered at export time.
-void etc_process_recurrences(Ctx& ctx, State& s) {
+///
+/// Both kernels take an optional recompute `mask` over the pool (nullptr
+/// = recompute all).  Masked-off members replay the base snapshot's
+/// post-pass values instead of iterating their recurrence; replays stay
+/// interleaved in pool order so a recomputing member reads exactly the
+/// mix of updated/not-yet-updated neighbor values a cold run would see
+/// (Gauss-Seidel order is part of the fixed point's identity).
+
+/// Replays one clean pool member from the base snapshot: raising to the
+/// stored values reproduces `changed` exactly (the stored value IS what
+/// the cold pass would compute), and the stored per-process divergence
+/// increment reproduces the diverged accounting.
+void replay_pass2_member(Ctx& ctx, State& s, std::size_t pi,
+                         const PassSnapshot& snap, PassSnapshot* cap) {
+  raise(ctx, s.w_p[pi], snap.end.w_p[pi]);
+  raise(ctx, s.r_p[pi], snap.end.r_p[pi]);
+  ctx.diverged += snap.p2_div[pi];
+  if (cap != nullptr) cap->p2_div[pi] = snap.p2_div[pi];
+}
+
+void pass2_pool_reference(Ctx& ctx, State& s,
+                          const AnalysisWorkspace::ProcPool& pool,
+                          const std::uint8_t* mask, const PassSnapshot* snap,
+                          PassSnapshot* cap) {
   const Application& app = ctx.app;
-  for (const auto& procs : ctx.et_procs_by_node) {
-    for (const ProcessId pid : procs) {
-      const Time c_i = app.process(pid).wcet;
-      Time w = std::max(s.w_p[pid.index()], c_i);
-      for (int iter = 0; iter < ctx.opt.max_recurrence_iterations; ++iter) {
-        Time next = c_i;  // B_i = 0: no intra-node critical sections modeled
-        for (const ProcessId j : procs) {
-          if (j == pid) continue;
-          if (!ctx.cfg.higher_priority_process(j, pid)) continue;
-          if (!process_can_interfere(ctx, s, j, pid)) continue;
-          const Time phase =
-              relative_phase(s.o_p[j.index()], s.o_p[pid.index()], ctx.period_of(j));
-          const Time span_j =
-              s.j_p[j.index()] + std::max(s.w_p[j.index()], app.process(j).wcet);
-          next += interfering_activations(w, s.j_p[pid.index()], s.j_p[j.index()],
-                                          phase, ctx.period_of(j), span_j) *
-                  app.process(j).wcet;
-        }
-        if (next > ctx.cap) {
-          next = ctx.cap;
-          ++ctx.diverged;
-        }
-        if (next <= w) break;
-        w = next;
+  const std::size_t n = pool.pids.size();
+  for (std::size_t x = 0; x < n; ++x) {
+    const ProcessId pid = pool.pids[x];
+    const std::size_t pi = pid.index();
+    if (mask != nullptr && mask[x] == 0) {
+      replay_pass2_member(ctx, s, pi, *snap, cap);
+      continue;
+    }
+    const int div_before = ctx.diverged;
+    const Time c_i = app.process(pid).wcet;
+    Time w = std::max(s.w_p[pi], c_i);
+    for (int iter = 0; iter < ctx.opt.max_recurrence_iterations; ++iter) {
+      Time next = c_i;  // B_i = 0: no intra-node critical sections modeled
+      for (const ProcessId j : pool.pids) {
+        if (j == pid) continue;
+        if (!ctx.cfg.higher_priority_process(j, pid)) continue;
+        if (!process_can_interfere(ctx, s, j, pid)) continue;
+        const Time phase =
+            relative_phase(s.o_p[j.index()], s.o_p[pi], ctx.period_of(j));
+        const Time span_j =
+            s.j_p[j.index()] + std::max(s.w_p[j.index()], app.process(j).wcet);
+        next += interfering_activations(w, s.j_p[pi], s.j_p[j.index()],
+                                        phase, ctx.period_of(j), span_j) *
+                app.process(j).wcet;
       }
-      raise(ctx, s.w_p[pid.index()], w);
-      raise(ctx, s.r_p[pid.index()], s.j_p[pid.index()] + s.w_p[pid.index()]);
+      if (next > ctx.cap) {
+        next = ctx.cap;
+        ++ctx.diverged;
+      }
+      if (next <= w) break;
+      w = next;
+    }
+    raise(ctx, s.w_p[pi], w);
+    raise(ctx, s.r_p[pi], s.j_p[pi] + s.w_p[pi]);
+    if (cap != nullptr) {
+      cap->p2_div[pi] = static_cast<std::int32_t>(ctx.diverged - div_before);
+    }
+  }
+}
+
+/// Packed kernel: pool state gathered into contiguous scratch arrays, the
+/// pruning predicates' static parts resolved to one pair-class byte, and
+/// the window anchors of the CURRENT member hoisted out of the recurrence
+/// (its own o/e/j/w/r only change after its recurrence finishes, so they
+/// are loop-invariant).  Bit-identical to the reference kernel.
+void pass2_pool_packed(Ctx& ctx, State& s,
+                       const AnalysisWorkspace::ProcPool& pool,
+                       const std::uint8_t* mask, const PassSnapshot* snap,
+                       PassSnapshot* cap) {
+  const std::size_t n = pool.pids.size();
+  AnalysisWorkspace::PackedScratch& ps = ctx.ws.packed_scratch();
+  for (std::size_t x = 0; x < n; ++x) {
+    const std::size_t pi = pool.pids[x].index();
+    ps.o[x] = s.o_p[pi];
+    ps.e[x] = s.e_p[pi];
+    ps.j[x] = s.j_p[pi];
+    ps.w[x] = s.w_p[pi];
+    ps.r[x] = s.r_p[pi];
+    ps.prio[x] = ctx.cfg.process_priority(pool.pids[x]);
+  }
+  const bool prune = ctx.opt.offset_pruning;
+  for (std::size_t x = 0; x < n; ++x) {
+    const std::size_t pi = pool.pids[x].index();
+    if (mask != nullptr && mask[x] == 0) {
+      // Replay through the scratch slot so later recomputing members read
+      // the replayed values, exactly as they would read raised state.
+      raise(ctx, ps.w[x], snap->end.w_p[pi]);
+      raise(ctx, ps.r[x], snap->end.r_p[pi]);
+      ctx.diverged += snap->p2_div[pi];
+      if (cap != nullptr) cap->p2_div[pi] = snap->p2_div[pi];
+      continue;
+    }
+    const int div_before = ctx.diverged;
+    const Time c_i = pool.wcet[x];
+    const std::uint8_t* pair = pool.pair.data() + x * n;
+    const Time latest_x = ps.o[x] + ps.j[x] + std::max(ps.w[x], c_i);
+    // The pruning predicates and each survivor's phase/span never read the
+    // iterated w, so the candidate set is resolved once and the recurrence
+    // below is a straight ceiling-sum over the compact arrays.
+    std::size_t m = 0;
+    for (std::size_t jj = 0; jj < n; ++jj) {
+      if (jj == x) continue;
+      if (!(ps.prio[jj] < ps.prio[x])) continue;
+      if (prune) {
+        const std::uint8_t cls = pair[jj];
+        if (cls == AnalysisWorkspace::kPairPruned) continue;
+        if (cls == AnalysisWorkspace::kPairWindow) {
+          if (ps.o[jj] + ps.r[jj] <= ps.e[x]) continue;
+          if (ps.e[jj] >= latest_x) continue;
+        }
+      }
+      ps.cand_j[m] = ps.j[jj];
+      ps.cand_phase[m] = relative_phase(ps.o[jj], ps.o[x], pool.period[jj]);
+      ps.cand_period[m] = pool.period[jj];
+      ps.cand_span[m] = ps.j[jj] + std::max(ps.w[jj], pool.wcet[jj]);
+      ps.cand_cost[m] = pool.wcet[jj];
+      ++m;
+    }
+    Time w = std::max(ps.w[x], c_i);
+    for (int iter = 0; iter < ctx.opt.max_recurrence_iterations; ++iter) {
+      Time next = c_i;
+      for (std::size_t i = 0; i < m; ++i) {
+        next += interfering_activations(w, ps.j[x], ps.cand_j[i],
+                                        ps.cand_phase[i], ps.cand_period[i],
+                                        ps.cand_span[i]) *
+                ps.cand_cost[i];
+      }
+      if (next > ctx.cap) {
+        next = ctx.cap;
+        ++ctx.diverged;
+      }
+      if (next <= w) break;
+      w = next;
+    }
+    raise(ctx, ps.w[x], w);
+    raise(ctx, ps.r[x], ps.j[x] + ps.w[x]);
+    if (cap != nullptr) {
+      cap->p2_div[pi] = static_cast<std::int32_t>(ctx.diverged - div_before);
+    }
+  }
+  for (std::size_t x = 0; x < n; ++x) {
+    const std::size_t pi = pool.pids[x].index();
+    s.w_p[pi] = ps.w[x];
+    s.r_p[pi] = ps.r[x];
+  }
+}
+
+/// Pass-2 driver: per pool, computes the recompute mask from the base
+/// snapshot (nullptr snap = cold: recompute everything) and dispatches to
+/// the selected kernel.
+///
+/// Dirtiness inputs of one member: its post-pass-1 {o,e,j} (compared to
+/// the base's end-of-pass values — pass 2 does not change them), its
+/// post-pass-1 r (compared to the base's post-pass-1 snapshot), its
+/// incoming w (the PREVIOUS pass's end value, zero on pass 0), and its
+/// priority.  A clean member can still read a dirty one through the
+/// higher-priority interference sum, so the mask recomputes the whole
+/// priority band below the highest-priority dirty member.  That
+/// refinement is sound precisely because pass 2 has no blocking term:
+/// members never read lower-priority state.
+void pass2(Ctx& ctx, State& s, const RtaDelta* delta, const PassSnapshot* snap,
+           const PassSnapshot* prev, PassSnapshot* cap) {
+  for (const AnalysisWorkspace::ProcPool& pool : ctx.ws.proc_pools()) {
+    const std::size_t n = pool.pids.size();
+    const std::uint8_t* mask = nullptr;
+    bool any_dirty = true;
+    if (snap != nullptr) {
+      std::vector<std::uint8_t>& buf = ctx.ws.packed_scratch().mask;
+      any_dirty = false;
+      Priority p_star = 0;
+      for (std::size_t x = 0; x < n; ++x) {
+        const std::size_t pi = pool.pids[x].index();
+        bool dirty = s.o_p[pi] != snap->end.o_p[pi] ||
+                     s.e_p[pi] != snap->end.e_p[pi] ||
+                     s.j_p[pi] != snap->end.j_p[pi] ||
+                     s.r_p[pi] != snap->r_p_mid[pi] ||
+                     s.w_p[pi] != (prev != nullptr ? prev->end.w_p[pi] : 0);
+        if (delta != nullptr && delta->proc_prio_changed != nullptr &&
+            (*delta->proc_prio_changed)[pi] != 0) {
+          dirty = true;
+        }
+        buf[x] = dirty ? 1 : 0;
+        if (dirty) {
+          // Band floor: a priority-CHANGED member affects everything below
+          // its old position as well as its new one (it stopped or started
+          // interfering with the span between them), so take the higher of
+          // the two.  State-dirty members have old == new.
+          Priority p = ctx.cfg.process_priority(pool.pids[x]);
+          if (delta != nullptr && delta->base_process_priorities != nullptr) {
+            p = std::min(p, (*delta->base_process_priorities)[pi]);
+          }
+          p_star = any_dirty ? std::min(p_star, p) : p;
+          any_dirty = true;
+        }
+      }
+      if (any_dirty) {
+        for (std::size_t x = 0; x < n; ++x) {
+          if (buf[x] == 0 && ctx.cfg.process_priority(pool.pids[x]) > p_star) {
+            buf[x] = 1;
+          }
+        }
+      }
+      mask = buf.data();
+      DeltaStats& stats = ctx.ws.delta_stats();
+      if (any_dirty) {
+        ++stats.components_recomputed;
+      } else {
+        ++stats.components_skipped;
+      }
+    }
+    if (!any_dirty) {
+      // Whole pool clean: replay without gathering.
+      for (std::size_t x = 0; x < n; ++x) {
+        replay_pass2_member(ctx, s, pool.pids[x].index(), *snap, cap);
+      }
+      continue;
+    }
+    if (ctx.opt.kernel == AnalysisKernel::Packed) {
+      pass2_pool_packed(ctx, s, pool, mask, snap, cap);
+    } else {
+      pass2_pool_reference(ctx, s, pool, mask, snap, cap);
     }
   }
 }
@@ -388,6 +606,156 @@ void can_message_recurrences(Ctx& ctx, State& s) {
   }
 }
 
+/// Packed CAN kernel: same gather/hoist treatment as pass 2, with both
+/// the hp-interference and lp-blocking predicates resolved through the
+/// precomputed pair-class matrices.  Bit-identical to the reference.
+void can_recurrences_packed(Ctx& ctx, State& s) {
+  const AnalysisWorkspace::CanPool& cp = ctx.ws.can_pool();
+  const std::size_t n = cp.mids.size();
+  AnalysisWorkspace::PackedScratch& ps = ctx.ws.packed_scratch();
+  for (std::size_t x = 0; x < n; ++x) {
+    const std::size_t mi = cp.mids[x].index();
+    ps.o[x] = s.o_m[mi];
+    ps.e[x] = s.e_m[mi];
+    ps.j[x] = s.j_m[mi];
+    ps.w[x] = s.w_m[mi];
+    ps.d[x] = s.d_m[mi];
+    ps.prio[x] = ctx.cfg.message_priority(cp.mids[x]);
+  }
+  const bool prune = ctx.opt.offset_pruning;
+  for (std::size_t x = 0; x < n; ++x) {
+    const std::uint8_t* interfere = cp.interfere.data() + x * n;
+    const std::uint8_t* block_cls = cp.block.data() + x * n;
+    // m's own o/e/j/w only change after its recurrence: hoist the window
+    // anchors.
+    const Time latest_x = ps.o[x] + ps.j[x] + ps.w[x] + cp.tx[x];
+    const Time arrival_x = ps.o[x] + ps.j[x];
+    // Neither the blocking term nor the interference candidate set reads
+    // the iterated w (every predicate input is fixed during this member's
+    // recurrence), so both are resolved once up front: blocking to a
+    // scalar, the hp survivors to compact arrays.
+    Time blocking = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k == x) continue;
+      if (ps.prio[k] < ps.prio[x]) continue;  // k is hp
+      if (prune) {
+        const std::uint8_t cls = block_cls[k];
+        if (cls == AnalysisWorkspace::kPairPruned) continue;
+        if (cls == AnalysisWorkspace::kPairWindow) {
+          if (ps.e[k] >= arrival_x) continue;
+          if (ps.d[k] <= ps.e[x]) continue;
+        }
+      }
+      blocking = std::max(blocking, cp.tx[k]);
+    }
+    std::size_t m = 0;
+    for (std::size_t jj = 0; jj < n; ++jj) {
+      if (jj == x) continue;
+      if (!(ps.prio[jj] < ps.prio[x])) continue;
+      if (prune) {
+        const std::uint8_t cls = interfere[jj];
+        if (cls == AnalysisWorkspace::kPairPruned) continue;
+        if (cls == AnalysisWorkspace::kPairWindow) {
+          if (ps.d[jj] <= ps.e[x]) continue;
+          if (ps.e[jj] >= latest_x) continue;
+        }
+      }
+      ps.cand_j[m] = ps.j[jj];
+      ps.cand_phase[m] = relative_phase(ps.o[jj], ps.o[x], cp.period[jj]);
+      ps.cand_period[m] = cp.period[jj];
+      ps.cand_span[m] = ps.j[jj] + ps.w[jj] + cp.tx[jj];
+      ps.cand_cost[m] = cp.tx[jj];
+      ++m;
+    }
+    Time w = ps.w[x];
+    for (int iter = 0; iter < ctx.opt.max_recurrence_iterations; ++iter) {
+      Time next = blocking;
+      for (std::size_t i = 0; i < m; ++i) {
+        next += interfering_activations(w, ps.j[x], ps.cand_j[i],
+                                        ps.cand_phase[i], ps.cand_period[i],
+                                        ps.cand_span[i]) *
+                ps.cand_cost[i];
+      }
+      if (next > ctx.cap) {
+        next = ctx.cap;
+        ++ctx.diverged;
+      }
+      if (next <= w) break;
+      w = next;
+    }
+    raise(ctx, ps.w[x], w);
+    const std::size_t mi = cp.mids[x].index();
+    raise(ctx, s.r_m[mi], ps.j[x] + ps.w[x] + cp.tx[x]);
+    if (cp.is_et_to_tt[x] == 0) {
+      raise(ctx, ps.d[x], ps.o[x] + s.r_m[mi]);
+    }
+  }
+  for (std::size_t x = 0; x < n; ++x) {
+    const std::size_t mi = cp.mids[x].index();
+    s.w_m[mi] = ps.w[x];
+    s.d_m[mi] = ps.d[x];
+  }
+}
+
+/// Pass-3 driver: the CAN bus is one component — the lp blocking term
+/// couples every message to every other regardless of priority order, so
+/// there is no per-member or per-band refinement here.  Dirtiness inputs:
+/// any CAN message's post-pass-1 {o,e,j}, its post-pass-1 d (vs the base's
+/// post-pass-1 snapshot), its incoming w (previous pass's end), or any
+/// CAN priority change.
+void pass3(Ctx& ctx, State& s, const RtaDelta* delta, const PassSnapshot* snap,
+           const PassSnapshot* prev, PassSnapshot* cap) {
+  const std::size_t n = ctx.can_messages.size();
+  if (n == 0) {
+    if (cap != nullptr) cap->can_div = 0;
+    return;
+  }
+  bool dirty = snap == nullptr ||
+               (delta != nullptr && delta->msg_prio_dirty);
+  if (!dirty) {
+    for (std::size_t x = 0; x < n && !dirty; ++x) {
+      const std::size_t mi = ctx.can_messages[x].index();
+      dirty = s.o_m[mi] != snap->end.o_m[mi] ||
+              s.e_m[mi] != snap->end.e_m[mi] ||
+              s.j_m[mi] != snap->end.j_m[mi] ||
+              s.d_m[mi] != snap->d_m_mid[mi] ||
+              s.w_m[mi] != (prev != nullptr ? prev->end.w_m[mi] : 0);
+    }
+  }
+  if (snap != nullptr) {
+    DeltaStats& stats = ctx.ws.delta_stats();
+    if (dirty) {
+      ++stats.components_recomputed;
+    } else {
+      ++stats.components_skipped;
+    }
+  }
+  if (!dirty) {
+    for (std::size_t x = 0; x < n; ++x) {
+      const std::size_t mi = ctx.can_messages[x].index();
+      raise(ctx, s.w_m[mi], snap->end.w_m[mi]);
+      // r is replayed from the post-pass-3 snapshot, NOT the end state:
+      // an ET->TT message's end r includes the pass-4 drain raise.
+      raise(ctx, s.r_m[mi], snap->r_m_mid[mi]);
+      if (ctx.route[mi] != MessageRoute::EtToTt) {
+        raise(ctx, s.d_m[mi], snap->end.d_m[mi]);
+      }
+    }
+    ctx.diverged += snap->can_div;
+    if (cap != nullptr) cap->can_div = snap->can_div;
+    return;
+  }
+  const int div_before = ctx.diverged;
+  if (ctx.opt.kernel == AnalysisKernel::Packed) {
+    can_recurrences_packed(ctx, s);
+  } else {
+    can_message_recurrences(ctx, s);
+  }
+  if (cap != nullptr) {
+    cap->can_div = static_cast<std::int32_t>(ctx.diverged - div_before);
+  }
+}
+
 /// ---- Pass 4: OutTTP FIFO drain through the gateway slot (§4.1.2) ------
 void out_ttp_drain(Ctx& ctx, State& s) {
   if (ctx.et_to_tt.empty()) return;
@@ -416,10 +784,24 @@ void out_ttp_drain(Ctx& ctx, State& s) {
     // jitter J_m + w_m + C_m; an instance of j arriving earlier still
     // counts while it can remain queued (ttp residency carry-in).
     const Time m_arrival_spread = s.j_m[mi] + s.w_m[mi] + ctx.can_tx[mi];
+    // Every ET->TT message rides the CAN bus, so the precomputed interfere
+    // classes apply; the packed kernel uses them, the reference kernel
+    // keeps the scalar predicate as the independent baseline.
+    const AnalysisWorkspace::CanPool& cp = ctx.ws.can_pool();
+    const std::uint8_t* cls_row =
+        ctx.opt.kernel == AnalysisKernel::Packed
+            ? cp.interfere.data() + cp.index[mi] * cp.mids.size()
+            : nullptr;
+    const Time latest_m = s.o_m[mi] + m_arrival_spread;
     std::int64_t bytes_ahead = 0;
     for (const MessageId j : ctx.et_to_tt) {
       if (j == mid) continue;
-      if (!message_can_interfere(ctx, s, j, mid)) continue;
+      if (cls_row != nullptr
+              ? !message_can_interfere_cls(ctx, s, cls_row[cp.index[j.index()]],
+                                           j, s.e_m[mi], latest_m)
+              : !message_can_interfere(ctx, s, j, mid)) {
+        continue;
+      }
       const Time arrival_jitter_j =
           s.j_m[j.index()] + s.w_m[j.index()] + ctx.can_tx[j.index()];
       const Time span_j = arrival_jitter_j + s.ttp_wait[j.index()];
@@ -442,6 +824,61 @@ void out_ttp_drain(Ctx& ctx, State& s) {
   }
 }
 
+/// Pass-4 driver: the OutTTP FIFO is one component (arrival order couples
+/// all ET->TT messages).  Dirtiness inputs per member: post-pass-3
+/// {o,e,j,w} (end values — pass 4 never changes them), post-pass-3 r, and
+/// the incoming d/ttp_wait (previous pass's end).  The drain calendar and
+/// the gateway slot are fingerprint-guaranteed identical to the base.
+/// Message priorities do NOT matter here: the FIFO count is priority-blind
+/// (message_can_interfere's state checks use no priorities).
+void pass4(Ctx& ctx, State& s, const PassSnapshot* snap,
+           const PassSnapshot* prev, PassSnapshot* cap) {
+  if (ctx.et_to_tt.empty()) {
+    if (cap != nullptr) cap->ttp_div = 0;
+    return;
+  }
+  bool dirty = snap == nullptr;
+  if (!dirty) {
+    for (const MessageId mid : ctx.et_to_tt) {
+      const std::size_t mi = mid.index();
+      if (s.o_m[mi] != snap->end.o_m[mi] || s.e_m[mi] != snap->end.e_m[mi] ||
+          s.j_m[mi] != snap->end.j_m[mi] || s.w_m[mi] != snap->end.w_m[mi] ||
+          s.r_m[mi] != snap->r_m_mid[mi] ||
+          s.d_m[mi] != (prev != nullptr ? prev->end.d_m[mi] : 0) ||
+          s.ttp_wait[mi] != (prev != nullptr ? prev->end.ttp_wait[mi] : 0)) {
+        dirty = true;
+        break;
+      }
+    }
+  }
+  if (snap != nullptr) {
+    DeltaStats& stats = ctx.ws.delta_stats();
+    if (dirty) {
+      ++stats.components_recomputed;
+    } else {
+      ++stats.components_skipped;
+    }
+  }
+  if (!dirty) {
+    for (const MessageId mid : ctx.et_to_tt) {
+      const std::size_t mi = mid.index();
+      // i_m / ttp_wait are direct-assigned by the drain; d / r are raised.
+      s.i_m[mi] = snap->end.i_m[mi];
+      s.ttp_wait[mi] = snap->end.ttp_wait[mi];
+      raise(ctx, s.d_m[mi], snap->end.d_m[mi]);
+      raise(ctx, s.r_m[mi], snap->end.r_m[mi]);
+    }
+    ctx.diverged += snap->ttp_div;
+    if (cap != nullptr) cap->ttp_div = snap->ttp_div;
+    return;
+  }
+  const int div_before = ctx.diverged;
+  out_ttp_drain(ctx, s);
+  if (cap != nullptr) {
+    cap->ttp_div = static_cast<std::int32_t>(ctx.diverged - div_before);
+  }
+}
+
 /// ---- Buffer bounds (§4.1.1 - §4.1.2) -----------------------------------
 BufferBounds buffer_bounds(const Ctx& ctx, const State& s) {
   const Application& app = ctx.app;
@@ -450,14 +887,30 @@ BufferBounds buffer_bounds(const Ctx& ctx, const State& s) {
   // Worst-case content of a priority-ordered output queue holding `pool`:
   // the message plus every higher-priority same-queue message instance
   // that can arrive while m waits.
+  const AnalysisWorkspace::CanPool& cp = ctx.ws.can_pool();
   auto priority_queue_bound = [&](const std::vector<MessageId>& pool) {
     std::int64_t worst = 0;
     for (const MessageId m : pool) {
       std::int64_t bytes = app.message(m).size_bytes;
+      // These queues hold CAN-borne messages only, so the precomputed
+      // interfere classes apply (packed kernel; reference keeps the
+      // scalar predicate).
+      const std::uint8_t* cls_row =
+          ctx.opt.kernel == AnalysisKernel::Packed
+              ? cp.interfere.data() + cp.index[m.index()] * cp.mids.size()
+              : nullptr;
+      const Time latest_m = s.o_m[m.index()] + s.j_m[m.index()] +
+                            s.w_m[m.index()] + ctx.can_tx[m.index()];
       for (const MessageId j : pool) {
         if (j == m) continue;
         if (!ctx.cfg.higher_priority_message(j, m)) continue;
-        if (!message_can_interfere(ctx, s, j, m)) continue;
+        if (cls_row != nullptr
+                ? !message_can_interfere_cls(ctx, s,
+                                             cls_row[cp.index[j.index()]], j,
+                                             s.e_m[m.index()], latest_m)
+                : !message_can_interfere(ctx, s, j, m)) {
+          continue;
+        }
         const Time phase =
             relative_phase(s.o_m[j.index()], s.o_m[m.index()], ctx.period_of(j));
         const Time span_j =
@@ -496,7 +949,9 @@ BufferBounds buffer_bounds(const Ctx& ctx, const State& s) {
 }  // namespace
 
 AnalysisResult response_time_analysis(const AnalysisInput& input,
-                                      AnalysisWorkspace& workspace) {
+                                      AnalysisWorkspace& workspace,
+                                      const RtaDelta* delta,
+                                      AnalysisWorkspace::RtaTrajectory* capture) {
   if (input.app == nullptr || input.platform == nullptr || input.config == nullptr) {
     throw std::invalid_argument("response_time_analysis: null input");
   }
@@ -517,6 +972,7 @@ AnalysisResult response_time_analysis(const AnalysisInput& input,
           *ttc,
           input.options,
           workspace.reachability(),
+          workspace,
           workspace.routes(),
           workspace.can_tx(),
           workspace.et_procs_by_node(),
@@ -541,23 +997,102 @@ AnalysisResult response_time_analysis(const AnalysisInput& input,
 
   State& s = workspace.reset_state();
 
+  const RtaTrajectory* base = (delta != nullptr) ? delta->base : nullptr;
+  if (capture != nullptr) {
+    capture->used = 0;
+    capture->complete = false;
+    capture->bounds_valid = false;
+  }
+
   AnalysisResult result;
   int iterations = 0;
+  int passes_run = 0;
   for (; iterations < ctx.opt.max_outer_iterations; ++iterations) {
     ctx.changed = false;
+    // Base snapshot of the pass at the same depth (nullptr past the stored
+    // tail — the pass then recomputes everything, which is still exact).
+    const std::size_t k = static_cast<std::size_t>(passes_run);
+    const PassSnapshot* snap =
+        (base != nullptr && k < base->used) ? &base->passes[k] : nullptr;
+    const PassSnapshot* prev =
+        (snap != nullptr && k >= 1) ? &base->passes[k - 1] : nullptr;
+
+    // Pass 1 always runs in full: it is linear in the graph size and is
+    // the conduit through which every cross-component effect travels.
     propagate(ctx, s);
-    etc_process_recurrences(ctx, s);
-    can_message_recurrences(ctx, s);
-    out_ttp_drain(ctx, s);
+
+    PassSnapshot* cap = nullptr;
+    if (capture != nullptr &&
+        capture->used < AnalysisWorkspace::kMaxStoredPasses) {
+      if (capture->passes.size() <= capture->used) capture->passes.emplace_back();
+      cap = &capture->passes[capture->used++];
+    }
+    if (cap != nullptr) {
+      cap->r_p_mid = s.r_p;
+      cap->d_m_mid = s.d_m;
+      cap->p2_div.assign(s.r_p.size(), 0);
+      cap->can_div = 0;
+      cap->ttp_div = 0;
+    }
+
+    pass2(ctx, s, delta, snap, prev, cap);
+    pass3(ctx, s, delta, snap, prev, cap);
+    if (cap != nullptr) cap->r_m_mid = s.r_m;
+    pass4(ctx, s, snap, prev, cap);
+    if (cap != nullptr) cap->end = s;
+
+    ++passes_run;
+    if (std::vector<AnalysisWorkspace::TraceRecord>* sink =
+            workspace.trace_sink()) {
+      sink->push_back({workspace.trace_iteration(), passes_run - 1, state_hash(s)});
+    }
     if (!ctx.changed) break;
+  }
+  if (capture != nullptr) {
+    capture->complete =
+        (capture->used == static_cast<std::size_t>(passes_run));
   }
   result.converged =
       (iterations < ctx.opt.max_outer_iterations) && (ctx.diverged == 0);
   result.outer_iterations = iterations;
   result.diverged_activities = ctx.diverged;
 
-  // Buffer bounds need the complete final state.
-  result.buffers = buffer_bounds(ctx, s);
+  // Buffer bounds need the complete final state.  They read only the CAN
+  // pool's {o,e,j,w,d}, the ET->TT i_m, and CAN priorities, so when all of
+  // those match the base's final state the stored bounds replay directly
+  // (the O(pool^2) pass is the dominant post-loop cost).
+  bool bounds_replayed = false;
+  if (base != nullptr && base->complete && base->bounds_valid &&
+      base->used > 0 && !(delta != nullptr && delta->msg_prio_dirty)) {
+    const State& fin = base->passes[base->used - 1].end;
+    bool same = true;
+    for (const MessageId mid : ctx.can_messages) {
+      const std::size_t mi = mid.index();
+      if (s.o_m[mi] != fin.o_m[mi] || s.e_m[mi] != fin.e_m[mi] ||
+          s.j_m[mi] != fin.j_m[mi] || s.w_m[mi] != fin.w_m[mi] ||
+          s.d_m[mi] != fin.d_m[mi]) {
+        same = false;
+        break;
+      }
+    }
+    if (same) {
+      for (const MessageId mid : ctx.et_to_tt) {
+        if (s.i_m[mid.index()] != fin.i_m[mid.index()]) {
+          same = false;
+          break;
+        }
+      }
+    }
+    if (same) {
+      result.buffers = base->bounds;
+      bounds_replayed = true;
+    }
+  }
+  if (!bounds_replayed) result.buffers = buffer_bounds(ctx, s);
+  if (capture != nullptr) {
+    capture->bounds = result.buffers;
+    capture->bounds_valid = true;
+  }
 
   // Graph responses: completion of the latest process (sinks dominate, but
   // the max over all processes is robust to mid-fixed-point offsets).
@@ -590,6 +1125,11 @@ AnalysisResult response_time_analysis(const AnalysisInput& input,
   result.message_delivery = s.d_m;
 
   return result;
+}
+
+AnalysisResult response_time_analysis(const AnalysisInput& input,
+                                      AnalysisWorkspace& workspace) {
+  return response_time_analysis(input, workspace, nullptr, nullptr);
 }
 
 AnalysisResult response_time_analysis(const AnalysisInput& input,

@@ -90,9 +90,12 @@ SaResult simulated_annealing(const MoveContext& ctx, const Candidate& start,
     temperature *= options.cooling;
   }
 
+  const DeltaStats& delta = ctx.delta_stats();
   MCS_LOG(Info) << "simulated_annealing: best cost " << result.best_cost
                 << " after " << result.evaluations << " evaluations ("
-                << result.accepted_moves << " accepted)";
+                << result.accepted_moves << " accepted; delta runs "
+                << delta.delta_runs << ", full runs " << delta.full_runs
+                << ", fallbacks " << delta.fallbacks << ")";
   return result;
 }
 

@@ -1,0 +1,260 @@
+// The structure-of-arrays recurrence kernels (AnalysisKernel::Packed) are
+// a pure layout optimization: gathered pool state, precomputed
+// interference-pair classes, in-place Gauss-Seidel on the scratch arrays.
+// They must be bit-identical to the original scalar code — kept as
+// AnalysisKernel::Reference — on every system, fresh or through a reused
+// workspace, and they must not perturb a single optimizer decision: the
+// SF/OS/OR/SA/HOPA trajectories (accept/reject sequences, final genotype)
+// have to match the seed behavior exactly, with the delta machinery on or
+// off.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mcs/core/hopa.hpp"
+#include "mcs/core/moves.hpp"
+#include "mcs/core/multi_cluster_scheduling.hpp"
+#include "mcs/core/optimize_resources.hpp"
+#include "mcs/core/simulated_annealing.hpp"
+#include "mcs/core/straightforward.hpp"
+#include "mcs/gen/generator.hpp"
+#include "mcs/gen/paper_example.hpp"
+#include "mcs/gen/suites.hpp"
+
+namespace mcs::core {
+namespace {
+
+gen::GeneratorParams small_system(std::uint64_t seed, std::size_t tt = 2,
+                                  std::size_t et = 2) {
+  gen::GeneratorParams p;
+  p.tt_nodes = tt;
+  p.et_nodes = et;
+  p.processes_per_node = 8;
+  p.processes_per_graph = 16;
+  p.seed = seed;
+  p.wcet_min = 50;
+  p.wcet_max = 400;
+  return p;
+}
+
+void expect_same_candidate(const Candidate& a, const Candidate& b) {
+  ASSERT_EQ(a.tdma.num_slots(), b.tdma.num_slots());
+  for (std::size_t s = 0; s < a.tdma.num_slots(); ++s) {
+    EXPECT_EQ(a.tdma.slot(s).owner, b.tdma.slot(s).owner) << "slot " << s;
+    EXPECT_EQ(a.tdma.slot(s).length, b.tdma.slot(s).length) << "slot " << s;
+  }
+  EXPECT_EQ(a.process_priorities, b.process_priorities);
+  EXPECT_EQ(a.message_priorities, b.message_priorities);
+  EXPECT_EQ(a.pins.process_release, b.pins.process_release);
+  EXPECT_EQ(a.pins.message_tx, b.pins.message_tx);
+}
+
+void expect_same_evaluation(const Evaluation& a, const Evaluation& b) {
+  EXPECT_EQ(a.delta.f1, b.delta.f1);
+  EXPECT_EQ(a.delta.f2, b.delta.f2);
+  EXPECT_EQ(a.s_total, b.s_total);
+  EXPECT_EQ(a.schedulable, b.schedulable);
+  std::string why;
+  EXPECT_TRUE(bit_identical(a.mcs, b.mcs, &why)) << why;
+}
+
+/// A deterministic family of candidates exercising every move kind.
+std::vector<Candidate> candidate_family(const MoveContext& ctx) {
+  std::vector<Candidate> family;
+  Candidate base = Candidate::initial(ctx.app(), ctx.platform());
+  family.push_back(base);
+  Candidate c = base;
+  if (ctx.can_messages().size() >= 2) {
+    (void)ctx.apply(SwapMessagePrioritiesMove{ctx.can_messages().front(),
+                                              ctx.can_messages().back()},
+                    c);
+    family.push_back(c);
+  }
+  if (base.tdma.num_slots() >= 2) {
+    c = base;
+    (void)ctx.apply(SwapSlotsMove{0, base.tdma.num_slots() - 1}, c);
+    family.push_back(c);
+    c = base;
+    (void)ctx.apply(ResizeSlotMove{0, base.tdma.slot(0).length +
+                                          base.tdma.params().time_per_byte * 8},
+                    c);
+    family.push_back(c);
+  }
+  if (!ctx.tt_processes().empty()) {
+    c = base;
+    (void)ctx.apply(ShiftProcessMove{ctx.tt_processes().front(), 64}, c);
+    family.push_back(c);
+  }
+  for (std::size_t i = 0; i + 1 < ctx.et_processes().size(); ++i) {
+    const auto a = ctx.et_processes()[i];
+    const auto b = ctx.et_processes()[i + 1];
+    if (ctx.app().process(a).node != ctx.app().process(b).node) continue;
+    c = base;
+    (void)ctx.apply(SwapProcessPrioritiesMove{a, b}, c);
+    family.push_back(c);
+    break;
+  }
+  return family;
+}
+
+TEST(SoaLayout, PackedKernelBitIdenticalToReference) {
+  struct SystemUnderTest {
+    model::Application app;
+    arch::Platform platform;
+  };
+  std::vector<SystemUnderTest> systems;
+  {
+    auto ex = gen::make_paper_example();
+    systems.push_back({std::move(ex.app), std::move(ex.platform)});
+  }
+  for (const auto& point : gen::tiny_suite(1)) {
+    auto sys = gen::generate(point.params);
+    systems.push_back({std::move(sys.app), std::move(sys.platform)});
+  }
+  for (const std::uint64_t seed : {11u, 22u, 33u}) {
+    auto sys = gen::generate(small_system(seed));
+    systems.push_back({std::move(sys.app), std::move(sys.platform)});
+  }
+
+  for (const SystemUnderTest& sut : systems) {
+    McsOptions packed;  // AnalysisKernel::Packed is the default
+    McsOptions reference;
+    reference.analysis.kernel = AnalysisKernel::Reference;
+    const MoveContext ctx(sut.app, sut.platform, McsOptions{});
+    AnalysisWorkspace ws_packed(sut.app, sut.platform);
+    AnalysisWorkspace ws_reference(sut.app, sut.platform);
+
+    for (const Candidate& cand : candidate_family(ctx)) {
+      SystemConfig cfg_p = cand.to_config(sut.app);
+      const McsResult p = multi_cluster_scheduling(sut.app, sut.platform, cfg_p,
+                                                   cand.pins, packed, ws_packed);
+      SystemConfig cfg_r = cand.to_config(sut.app);
+      const McsResult r = multi_cluster_scheduling(
+          sut.app, sut.platform, cfg_r, cand.pins, reference, ws_reference);
+      std::string why;
+      EXPECT_TRUE(bit_identical(p, r, &why)) << why;
+      EXPECT_EQ(cfg_p.process_offsets(), cfg_r.process_offsets());
+      EXPECT_EQ(cfg_p.message_offsets(), cfg_r.message_offsets());
+    }
+  }
+}
+
+TEST(SoaLayout, ReusedScratchMatchesFreshAcrossDeltaModes) {
+  for (const std::uint64_t seed : {11u, 33u}) {
+    const auto sys = gen::generate(small_system(seed));
+    // One context per mode, each reusing ONE workspace (and its packed
+    // scratch buffers) across the whole family, twice; the ground truth
+    // is a throwaway cold context per candidate.
+    const MoveContext ctx_on(sys.app, sys.platform, McsOptions{});
+    ctx_on.workspace().set_delta_mode(DeltaMode::On);
+    const MoveContext ctx_off(sys.app, sys.platform, McsOptions{});
+    ctx_off.workspace().set_delta_mode(DeltaMode::Off);
+
+    for (int round = 0; round < 2; ++round) {
+      for (const Candidate& cand : candidate_family(ctx_off)) {
+        const Evaluation on = ctx_on.evaluate_uncached(cand);
+        const Evaluation off = ctx_off.evaluate_uncached(cand);
+        const MoveContext fresh(sys.app, sys.platform, McsOptions{});
+        fresh.workspace().set_delta_mode(DeltaMode::Off);
+        const Evaluation cold = fresh.evaluate_uncached(cand);
+        expect_same_evaluation(on, cold);
+        expect_same_evaluation(off, cold);
+      }
+    }
+    EXPECT_GT(ctx_on.delta_stats().delta_runs, 0u);
+    EXPECT_EQ(ctx_off.delta_stats().delta_runs, 0u);
+  }
+}
+
+// The searches must take the exact same path with the delta machinery on
+// as with it off (the seed behavior): same accept/reject sequence, same
+// evaluation counts, same final genotype.  A single divergent analysis
+// value anywhere in the walk would cascade into a different trajectory.
+class TrajectoryInvariance : public ::testing::Test {
+protected:
+  void SetUp() override {
+    auto sys = gen::generate(small_system(11));
+    app_.emplace(std::move(sys.app));
+    platform_.emplace(std::move(sys.platform));
+    on_.emplace(*app_, *platform_, McsOptions{});
+    on_->workspace().set_delta_mode(DeltaMode::On);
+    off_.emplace(*app_, *platform_, McsOptions{});
+    off_->workspace().set_delta_mode(DeltaMode::Off);
+  }
+
+  std::optional<model::Application> app_;
+  std::optional<arch::Platform> platform_;
+  std::optional<MoveContext> on_, off_;
+};
+
+TEST_F(TrajectoryInvariance, Straightforward) {
+  const StraightforwardResult a = straightforward(*on_);
+  const StraightforwardResult b = straightforward(*off_);
+  expect_same_candidate(a.candidate, b.candidate);
+  expect_same_evaluation(a.evaluation, b.evaluation);
+}
+
+TEST_F(TrajectoryInvariance, Hopa) {
+  const arch::TdmaRound tdma = Candidate::initial(*app_, *platform_).tdma;
+  const HopaResult a =
+      hopa_priorities(*app_, *platform_, tdma, on_->workspace());
+  const HopaResult b =
+      hopa_priorities(*app_, *platform_, tdma, off_->workspace());
+  EXPECT_EQ(a.process_priorities, b.process_priorities);
+  EXPECT_EQ(a.message_priorities, b.message_priorities);
+  EXPECT_EQ(a.delta.f1, b.delta.f1);
+  EXPECT_EQ(a.delta.f2, b.delta.f2);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_GT(on_->delta_stats().delta_runs, 0u);
+}
+
+TEST_F(TrajectoryInvariance, OptimizeScheduleAndResources) {
+  OptimizeScheduleOptions schedule_options;
+  schedule_options.max_seeds = 2;
+  schedule_options.max_lengths_per_slot = 3;
+  const OptimizeScheduleResult os_a = optimize_schedule(*on_, schedule_options);
+  const OptimizeScheduleResult os_b = optimize_schedule(*off_, schedule_options);
+  expect_same_candidate(os_a.best, os_b.best);
+  expect_same_evaluation(os_a.best_eval, os_b.best_eval);
+  EXPECT_EQ(os_a.evaluations, os_b.evaluations);
+  ASSERT_EQ(os_a.seeds.size(), os_b.seeds.size());
+  for (std::size_t i = 0; i < os_a.seeds.size(); ++i) {
+    expect_same_candidate(os_a.seeds[i].candidate, os_b.seeds[i].candidate);
+  }
+
+  OptimizeResourcesOptions resources_options;
+  resources_options.schedule = schedule_options;
+  resources_options.max_seed_starts = 2;
+  resources_options.max_climb_iterations = 4;
+  resources_options.neighbors_per_step = 8;
+  const OptimizeResourcesResult or_a = optimize_resources(*on_, resources_options);
+  const OptimizeResourcesResult or_b = optimize_resources(*off_, resources_options);
+  expect_same_candidate(or_a.best, or_b.best);
+  expect_same_evaluation(or_a.best_eval, or_b.best_eval);
+  EXPECT_EQ(or_a.s_total_before, or_b.s_total_before);
+  EXPECT_EQ(or_a.evaluations, or_b.evaluations);
+  EXPECT_EQ(or_a.climb_steps, or_b.climb_steps);
+  EXPECT_GT(on_->delta_stats().delta_runs, 0u);
+}
+
+TEST_F(TrajectoryInvariance, SimulatedAnnealing) {
+  SaOptions options;
+  options.seed = 9;
+  options.max_evaluations = 500;
+  const Candidate start = Candidate::initial(*app_, *platform_);
+  const SaResult a = simulated_annealing(*on_, start, options);
+  const SaResult b = simulated_annealing(*off_, start, options);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.accepted_moves, b.accepted_moves);
+  EXPECT_EQ(a.best_cost, b.best_cost);
+  expect_same_candidate(a.best, b.best);
+  expect_same_evaluation(a.best_eval, b.best_eval);
+  EXPECT_GT(on_->delta_stats().delta_runs, 0u);
+}
+
+}  // namespace
+}  // namespace mcs::core
