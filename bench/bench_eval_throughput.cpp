@@ -22,12 +22,15 @@
 //   mixed walk — every move kind, so TDMA/TTC moves interleave cold
 //                fallbacks with delta runs (speedup_delta_mixed).
 //
-// Each walk runs in three configurations: `seed` (Reference kernel, delta
+// Each walk runs in four configurations: `seed` (Reference kernel, delta
 // off — the pre-SoA, pre-delta miss path this PR started from), `full`
-// (packed kernel, delta off) and `delta` (packed kernel, delta on).
+// (packed kernel, delta off), `delta` (packed kernel, delta on) and
+// `simd` (vectorized kernel, delta on — the current default).
 // speedup_local_vs_seed / speedup_mixed_vs_seed are the before/after
 // numbers for the miss path as a whole; speedup_delta_* isolate the delta
-// machinery against the already-packed full analysis.
+// machinery against the already-packed full analysis; speedup_simd_*
+// isolate the vectorized kernels (+ candidate caching + copy-on-dirty
+// capture) against the packed-scalar delta path.
 //
 // Emits BENCH_eval_throughput.json (consumed by CI as a perf artifact) and
 // fails loudly if any two paths disagree on any evaluation, making the
@@ -37,6 +40,7 @@
 //   MCS_BENCH_FULL=1          adds a paper-scale instance (6 nodes x 40)
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <utility>
@@ -202,8 +206,8 @@ struct InstanceReport {
   std::size_t messages = 0;
   std::size_t visits = 0;
   ModeResult baseline, workspace, workspace_cache;
-  ModeResult local_seed, local_full, local_delta;
-  ModeResult mixed_seed, mixed_full, mixed_delta;
+  ModeResult local_seed, local_full, local_delta, local_simd;
+  ModeResult mixed_seed, mixed_full, mixed_delta, mixed_simd;
   double cache_hit_rate = 0.0;
   bool consistent = false;
 };
@@ -237,32 +241,41 @@ InstanceReport run_instance(const Instance& inst, std::size_t num_visits) {
                                core::AnalysisKernel::Reference);
   report.local_full = run_walk(inst, local_walk, core::DeltaMode::Off);
   report.local_delta = run_walk(inst, local_walk, core::DeltaMode::On);
+  report.local_simd = run_walk(inst, local_walk, core::DeltaMode::On,
+                               core::AnalysisKernel::Simd);
   report.mixed_seed = run_walk(inst, mixed_walk, core::DeltaMode::Off,
                                core::AnalysisKernel::Reference);
   report.mixed_full = run_walk(inst, mixed_walk, core::DeltaMode::Off);
   report.mixed_delta = run_walk(inst, mixed_walk, core::DeltaMode::On);
+  report.mixed_simd = run_walk(inst, mixed_walk, core::DeltaMode::On,
+                               core::AnalysisKernel::Simd);
 
   report.consistent = report.baseline.checksum == report.workspace.checksum &&
                       report.baseline.checksum == report.workspace_cache.checksum &&
                       report.local_seed.checksum == report.local_full.checksum &&
                       report.local_full.checksum == report.local_delta.checksum &&
+                      report.local_delta.checksum == report.local_simd.checksum &&
                       report.mixed_seed.checksum == report.mixed_full.checksum &&
-                      report.mixed_full.checksum == report.mixed_delta.checksum;
+                      report.mixed_full.checksum == report.mixed_delta.checksum &&
+                      report.mixed_delta.checksum == report.mixed_simd.checksum;
 
   std::printf(
       "%-14s %4zu procs %4zu msgs | baseline %9.0f/s | workspace %9.0f/s (%.2fx) "
       "| +cache %9.0f/s (%.2fx, %.0f%% hits) | miss-path local %.2fx vs seed "
-      "(delta %.2fx) mixed %.2fx vs seed (delta %.2fx) | %s\n",
+      "(delta %.2fx, simd %.2fx) mixed %.2fx vs seed (delta %.2fx, simd %.2fx) "
+      "| %s\n",
       inst.name.c_str(), report.processes, report.messages,
       report.baseline.evals_per_sec, report.workspace.evals_per_sec,
       report.workspace.evals_per_sec / report.baseline.evals_per_sec,
       report.workspace_cache.evals_per_sec,
       report.workspace_cache.evals_per_sec / report.baseline.evals_per_sec,
       100.0 * report.cache_hit_rate,
-      report.local_delta.evals_per_sec / report.local_seed.evals_per_sec,
+      report.local_simd.evals_per_sec / report.local_seed.evals_per_sec,
       report.local_delta.evals_per_sec / report.local_full.evals_per_sec,
-      report.mixed_delta.evals_per_sec / report.mixed_seed.evals_per_sec,
+      report.local_simd.evals_per_sec / report.local_delta.evals_per_sec,
+      report.mixed_simd.evals_per_sec / report.mixed_seed.evals_per_sec,
       report.mixed_delta.evals_per_sec / report.mixed_full.evals_per_sec,
+      report.mixed_simd.evals_per_sec / report.mixed_delta.evals_per_sec,
       report.consistent ? "results identical" : "RESULTS DIFFER");
   return report;
 }
@@ -272,6 +285,23 @@ void append_mode(std::ofstream& out, const char* name, const ModeResult& mode,
   out << "      \"" << name << "\": {\"seconds\": " << mode.seconds
       << ", \"evals_per_sec\": " << mode.evals_per_sec << "}"
       << (trailing_comma ? ",\n" : "\n");
+}
+
+/// Where BENCH_eval_throughput.json goes: MCS_BENCH_OUT_DIR if set,
+/// otherwise the enclosing repository root (nearest ancestor of the CWD
+/// containing .git), otherwise the CWD.  CI and local runs both land the
+/// artifact at the repo root this way regardless of the build directory.
+std::filesystem::path output_dir() {
+  if (const char* dir = std::getenv("MCS_BENCH_OUT_DIR")) return dir;
+  std::error_code ec;
+  std::filesystem::path p = std::filesystem::current_path(ec);
+  while (!ec && !p.empty()) {
+    if (std::filesystem::exists(p / ".git", ec)) return p;
+    const std::filesystem::path parent = p.parent_path();
+    if (parent == p) break;
+    p = parent;
+  }
+  return ".";
 }
 
 }  // namespace
@@ -313,7 +343,7 @@ int main() {
     reports.push_back(run_instance(inst, num_visits));
   }
 
-  std::ofstream out("BENCH_eval_throughput.json");
+  std::ofstream out(output_dir() / "BENCH_eval_throughput.json");
   out << "{\n  \"bench\": \"eval_throughput\",\n  \"visits\": " << num_visits
       << ",\n  \"instances\": [\n";
   for (std::size_t i = 0; i < reports.size(); ++i) {
@@ -327,21 +357,27 @@ int main() {
     append_mode(out, "miss_local_seed", r.local_seed, true);
     append_mode(out, "miss_local_full", r.local_full, true);
     append_mode(out, "miss_local_delta", r.local_delta, true);
+    append_mode(out, "miss_local_simd", r.local_simd, true);
     append_mode(out, "miss_mixed_seed", r.mixed_seed, true);
     append_mode(out, "miss_mixed_full", r.mixed_full, true);
     append_mode(out, "miss_mixed_delta", r.mixed_delta, true);
+    append_mode(out, "miss_mixed_simd", r.mixed_simd, true);
     out << "      \"speedup_workspace\": "
         << r.workspace.evals_per_sec / r.baseline.evals_per_sec
         << ",\n      \"speedup_total\": "
         << r.workspace_cache.evals_per_sec / r.baseline.evals_per_sec
         << ",\n      \"speedup_local_vs_seed\": "
-        << r.local_delta.evals_per_sec / r.local_seed.evals_per_sec
+        << r.local_simd.evals_per_sec / r.local_seed.evals_per_sec
         << ",\n      \"speedup_mixed_vs_seed\": "
-        << r.mixed_delta.evals_per_sec / r.mixed_seed.evals_per_sec
+        << r.mixed_simd.evals_per_sec / r.mixed_seed.evals_per_sec
         << ",\n      \"speedup_delta_local\": "
         << r.local_delta.evals_per_sec / r.local_full.evals_per_sec
         << ",\n      \"speedup_delta_mixed\": "
         << r.mixed_delta.evals_per_sec / r.mixed_full.evals_per_sec
+        << ",\n      \"speedup_simd_local\": "
+        << r.local_simd.evals_per_sec / r.local_delta.evals_per_sec
+        << ",\n      \"speedup_simd_mixed\": "
+        << r.mixed_simd.evals_per_sec / r.mixed_delta.evals_per_sec
         << ",\n      \"cache_hit_rate\": " << r.cache_hit_rate
         << ",\n      \"consistent\": " << (r.consistent ? "true" : "false")
         << "\n    }" << (i + 1 < reports.size() ? "," : "") << "\n";

@@ -197,12 +197,188 @@ void AnalysisWorkspace::build() {
   packed_scratch_.d.resize(max_pool);
   packed_scratch_.prio.resize(max_pool);
   packed_scratch_.mask.resize(max_pool);
+  packed_scratch_.vis.resize(max_pool);
   packed_scratch_.cand_j.resize(max_pool);
   packed_scratch_.cand_phase.resize(max_pool);
   packed_scratch_.cand_period.resize(max_pool);
   packed_scratch_.cand_span.resize(max_pool);
   packed_scratch_.cand_cost.resize(max_pool);
+  // SIMD lanes: the largest candidate list rounded up to a full padding
+  // block (padding lanes contribute 0 by construction).
+  const std::size_t lanes =
+      (max_pool + PackedScratch::kLaneWidth) & ~(PackedScratch::kLaneWidth - 1);
+  packed_scratch_.lane_a.resize(lanes);
+  packed_scratch_.lane_cost.resize(lanes);
+  packed_scratch_.lane_mul.resize(lanes);
+  packed_scratch_.lane_sh.resize(lanes);
   prio_changed_scratch_.resize(app.num_processes());
+
+  // Magic-division tables: every divisor the recurrences use is a pool
+  // member's period, known here.  A period outside the encodable range
+  // (< 2 or > 2^62, never seen from the generator but representable in
+  // the model) downgrades AnalysisKernel::Simd to the packed-scalar
+  // kernel for this workspace — correctness never depends on the tables.
+  simd_supported_ = true;
+  for (const ProcPool& pool : proc_pools_) {
+    for (const Time t : pool.period) {
+      if (!util::MagicDiv::supports(t)) simd_supported_ = false;
+    }
+  }
+  for (const Time t : can_pool_.period) {
+    if (!util::MagicDiv::supports(t)) simd_supported_ = false;
+  }
+  if (simd_supported_) {
+    for (ProcPool& pool : proc_pools_) {
+      const std::size_t n = pool.period.size();
+      pool.mg_mul.resize(n);
+      pool.mg_shift.resize(n);
+      for (std::size_t x = 0; x < n; ++x) {
+        const util::MagicDiv m = util::MagicDiv::make(pool.period[x]);
+        pool.mg_mul[x] = m.mul;
+        pool.mg_shift[x] = m.shift;
+      }
+    }
+    const std::size_t n = can_pool_.period.size();
+    can_pool_.mg_mul.resize(n);
+    can_pool_.mg_shift.resize(n);
+    for (std::size_t x = 0; x < n; ++x) {
+      const util::MagicDiv m = util::MagicDiv::make(can_pool_.period[x]);
+      can_pool_.mg_mul[x] = m.mul;
+      can_pool_.mg_shift[x] = m.shift;
+    }
+  }
+
+  // Candidate-list caches: sized for their pools up front so the steady
+  // state never allocates; built lazily by the kernels (valid = false).
+  proc_cand_cache_.resize(proc_pools_.size());
+  for (std::size_t pi = 0; pi < proc_pools_.size(); ++pi) {
+    const std::size_t n = proc_pools_[pi].pids.size();
+    proc_cand_cache_[pi].prio.resize(n);
+    proc_cand_cache_[pi].list.resize(n * n);
+    proc_cand_cache_[pi].cls.resize(n * n);
+    proc_cand_cache_[pi].len.resize(n);
+    proc_cand_cache_[pi].order.resize(n);
+  }
+  {
+    const std::size_t n = can_pool_.mids.size();
+    can_cand_cache_.prio.resize(n);
+    can_cand_cache_.list.resize(n * n);
+    can_cand_cache_.cls.resize(n * n);
+    can_cand_cache_.len.resize(n);
+    can_cand_cache_.order.resize(n);
+    can_cand_cache_.blk_list.resize(n * n);
+    can_cand_cache_.blk_cls.resize(n * n);
+    can_cand_cache_.blk_len.resize(n);
+  }
+
+  // Intra-run fixed-point skip bookkeeping: per-process last-seen pass-2
+  // inputs and output-change flags, per-pool validity (see the pass-2
+  // kernel; invalidated at the start of every analysis run).
+  const std::size_t np = app.num_processes();
+  intra_o_.resize(np);
+  intra_e_.resize(np);
+  intra_j_.resize(np);
+  intra_r_.resize(np);
+  intra_flags_.resize(np);
+  intra_pool_valid_.resize(proc_pools_.size());
+  const std::size_t nm = app.num_messages();
+  intra_m_o_.resize(nm);
+  intra_m_e_.resize(nm);
+  intra_m_j_.resize(nm);
+  intra_m_w_.resize(nm);
+  intra_m_d_.resize(nm);
+  intra_m_r_.resize(nm);
+  intra_m_flags_.resize(nm);
+  intra_t_o_.resize(nm);
+  intra_t_e_.resize(nm);
+  intra_t_j_.resize(nm);
+  intra_t_w_.resize(nm);
+  intra_t_r_.resize(nm);
+  intra_t_d_.resize(nm);
+  intra_t_i_.resize(nm);
+  intra_t_wait_.resize(nm);
+
+  // Pass-1 per-graph activity (propagate skip) plus the member -> graph
+  // maps the passes use to re-arm a graph when they change its state.
+  p1_active_.assign(app.num_graphs(), std::uint8_t{1});
+  proc_graph_.resize(np);
+  for (std::size_t i = 0; i < np; ++i) {
+    proc_graph_[i] = static_cast<std::uint32_t>(
+        app.process(ProcessId(static_cast<ProcessId::underlying_type>(i)))
+            .graph.index());
+  }
+  msg_graph_.resize(nm);
+  for (std::size_t i = 0; i < nm; ++i) {
+    msg_graph_[i] = static_cast<std::uint32_t>(
+        app.message(MessageId(static_cast<MessageId::underlying_type>(i)))
+            .graph.index());
+  }
+}
+
+namespace {
+
+void swap_state(AnalysisWorkspace::State& a, AnalysisWorkspace::State& b) noexcept {
+  std::swap(a.o_p, b.o_p);
+  std::swap(a.e_p, b.e_p);
+  std::swap(a.j_p, b.j_p);
+  std::swap(a.w_p, b.w_p);
+  std::swap(a.r_p, b.r_p);
+  std::swap(a.o_m, b.o_m);
+  std::swap(a.e_m, b.e_m);
+  std::swap(a.j_m, b.j_m);
+  std::swap(a.w_m, b.w_m);
+  std::swap(a.r_m, b.r_m);
+  std::swap(a.d_m, b.d_m);
+  std::swap(a.ttp_wait, b.ttp_wait);
+  std::swap(a.i_m, b.i_m);
+}
+
+}  // namespace
+
+void AnalysisWorkspace::commit_mcs_capture() {
+  // Materialize copy-on-dirty passes: a snapshot flagged `from_base`
+  // recorded that the pass replayed bit-equal to the base trajectory, so
+  // its buffers were never copied — steal them from the outgoing base by
+  // swapping (both sides keep their capacity; no allocation).  Two capture
+  // records can reference the SAME base record (final-iteration elision
+  // aliases records), in which case only the first steal gets the buffers;
+  // later ones deep-copy from the first stealer.
+  McsBase& cap = mcs_capture_;
+  McsBase& base = mcs_base_;
+  if (cap.valid) {
+    steal_scratch_.assign(base.records_used * kMaxStoredPasses, nullptr);
+    for (std::size_t ri = 0; ri < cap.records_used; ++ri) {
+      RtaTrajectory& traj = cap.records[ri].traj;
+      const std::size_t bi = traj.base_record;
+      traj.base_record = RtaTrajectory::kNoBaseRecord;
+      if (bi == RtaTrajectory::kNoBaseRecord || bi >= base.records_used) {
+        continue;
+      }
+      RtaTrajectory& src = base.records[bi].traj;
+      for (std::size_t k = 0; k < traj.used; ++k) {
+        PassSnapshot& p = traj.passes[k];
+        if (!p.from_base) continue;
+        p.from_base = false;
+        if (k >= src.used) continue;  // unreachable: equal passes are covered
+        PassSnapshot*& holder = steal_scratch_[bi * kMaxStoredPasses + k];
+        if (holder == nullptr) {
+          PassSnapshot& q = src.passes[k];
+          swap_state(p.end, q.end);
+          std::swap(p.r_p_mid, q.r_p_mid);
+          std::swap(p.d_m_mid, q.d_m_mid);
+          std::swap(p.r_m_mid, q.r_m_mid);
+          holder = &p;
+        } else {
+          p.end = holder->end;
+          p.r_p_mid = holder->r_p_mid;
+          p.d_m_mid = holder->d_m_mid;
+          p.r_m_mid = holder->r_m_mid;
+        }
+        ++delta_stats_.snapshots_stolen;
+      }
+    }
+  }
+  std::swap(mcs_base_, mcs_capture_);
 }
 
 AnalysisWorkspace::State& AnalysisWorkspace::reset_state() {

@@ -43,6 +43,7 @@
 // that runs it.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <utility>
@@ -52,6 +53,8 @@
 #include "mcs/core/analysis_types.hpp"
 #include "mcs/model/process_graph.hpp"
 #include "mcs/sched/list_scheduler.hpp"
+#include "mcs/util/aligned.hpp"
+#include "mcs/util/magic_div.hpp"
 
 namespace mcs::core {
 
@@ -76,6 +79,13 @@ struct DeltaStats {
   std::uint64_t elided_iterations = 0;    ///< provably-redundant MCS iterations
   std::uint64_t components_skipped = 0;   ///< pass components replayed from base
   std::uint64_t components_recomputed = 0;
+  std::uint64_t cand_cache_hits = 0;      ///< candidate lists reused as-is
+  std::uint64_t cand_cache_rebuilds = 0;  ///< kernel calls that (re)built lists
+  std::uint64_t snapshots_stolen = 0;     ///< pass snapshots swapped, not copied
+  std::uint64_t mask_refinements = 0;     ///< pass-2 pools masked via read sets
+  std::uint64_t intra_skips = 0;          ///< members at a confirmed fixed point
+  std::uint64_t settled_skips = 0;        ///< clean components whose replay was a no-op
+  std::uint64_t p1_graph_skips = 0;       ///< pass-1 sweeps elided for quiescent graphs
 };
 
 class AnalysisWorkspace {
@@ -163,6 +173,10 @@ public:
     std::vector<util::Time> period;
     /// pair[i*n + j]: class of pool member j interfering with member i.
     std::vector<std::uint8_t> pair;
+    /// Magic-division constants of `period` (see util/magic_div.hpp);
+    /// populated only when simd_supported().
+    std::vector<std::uint64_t> mg_mul;
+    std::vector<std::uint32_t> mg_shift;
   };
 
   /// The CAN arbitration pool (all CAN-borne messages, pool order).
@@ -179,6 +193,9 @@ public:
     std::vector<std::uint8_t> interfere;
     /// block[m*n + k]: class of k blocking m (lp non-preemptive start).
     std::vector<std::uint8_t> block;
+    /// Magic-division constants of `period` (as in ProcPool).
+    std::vector<std::uint64_t> mg_mul;
+    std::vector<std::uint32_t> mg_shift;
   };
 
   [[nodiscard]] const std::vector<ProcPool>& proc_pools() const noexcept {
@@ -187,20 +204,195 @@ public:
   [[nodiscard]] const CanPool& can_pool() const noexcept { return can_pool_; }
 
   /// Reusable gather buffers for the packed kernels (sized to the largest
-  /// pool at build time).
+  /// pool at build time; every array is 64-byte aligned and padded to a
+  /// kLaneWidth multiple so the SIMD inner loops run without a scalar
+  /// tail — see DESIGN.md §2 "Analysis kernels").
   struct PackedScratch {
-    std::vector<util::Time> o, e, j, w, r, d;
-    std::vector<Priority> prio;
-    std::vector<std::uint8_t> mask;  ///< pass-2 recompute mask (1 = recompute)
+    /// Lanes per padding block.  Covers AVX-512 (8 x u64 per vector) and
+    /// divides evenly into narrower widths; padding lanes are written as
+    /// {a=0, cost=0, mul=0, shift=0} so they contribute exactly 0 to the
+    /// ceiling-sum regardless of vector width.
+    static constexpr std::size_t kLaneWidth = 8;
+
+    util::AlignedVec<util::Time> o, e, j, w, r, d;
+    util::AlignedVec<Priority> prio;
+    util::AlignedVec<std::uint8_t> mask;  ///< pass-2 recompute mask (1 = recompute)
+    /// Pool-local "visibly changed since the previous pass" flags of the
+    /// intra-run fixed-point skip (inputs changed this pass, or outputs
+    /// changed during the previous pass).
+    util::AlignedVec<std::uint8_t> vis;
     /// Per-member compacted interference candidates.  The pruning
     /// predicates and each candidate's phase/span never read the member's
     /// iterated w (its own window anchors are hoisted), so the kernels
     /// resolve them ONCE per member and the w-recurrence reduces to a
     /// tight ceiling-sum over these parallel arrays.
-    std::vector<util::Time> cand_j, cand_phase, cand_period, cand_span,
+    util::AlignedVec<util::Time> cand_j, cand_phase, cand_period, cand_span,
         cand_cost;
+    /// SIMD lane arrays of the vectorized ceiling-sum: per candidate the
+    /// w-independent addend a = J_i + J_j - phase_j, the preemption cost,
+    /// and the magic-division constants of its period.  All lane math is
+    /// uint64 (two's-complement wraparound, no signed-overflow UB).
+    util::AlignedVec<std::uint64_t> lane_a, lane_cost, lane_mul, lane_sh;
+
+    /// Total heap bytes currently reserved by the scratch arrays; the
+    /// memory-stability test asserts this stops growing after warmup.
+    [[nodiscard]] std::size_t footprint_bytes() const noexcept {
+      return (o.capacity() + e.capacity() + j.capacity() + w.capacity() +
+              r.capacity() + d.capacity() + cand_j.capacity() +
+              cand_phase.capacity() + cand_period.capacity() +
+              cand_span.capacity() + cand_cost.capacity()) *
+                 sizeof(util::Time) +
+             (lane_a.capacity() + lane_cost.capacity() + lane_mul.capacity() +
+              lane_sh.capacity()) *
+                 sizeof(std::uint64_t) +
+             prio.capacity() * sizeof(Priority) + mask.capacity() +
+             vis.capacity();
+    }
   };
   [[nodiscard]] PackedScratch& packed_scratch() noexcept { return packed_scratch_; }
+
+  // --- intra-run fixed-point skip bookkeeping (SIMD pass-2 kernel) ------
+  // Per-process values {o,e,j,r} as last seen by pass 2 within the current
+  // analysis run, plus a flags byte (bit0 = outputs changed during the
+  // previous pass, bit1 = outputs changed during the current pass).  A
+  // member whose own inputs and whole candidate read set are unchanged
+  // since the previous pass is already at its fixed point: recomputing
+  // would evaluate the ceiling-sum once, observe next <= w, and keep w —
+  // so the kernel skips the gather entirely.  Valid per pool only after
+  // the SIMD kernel has run a full bookkeeping pass in this analysis run.
+  [[nodiscard]] std::vector<util::Time>& intra_o() noexcept { return intra_o_; }
+  [[nodiscard]] std::vector<util::Time>& intra_e() noexcept { return intra_e_; }
+  [[nodiscard]] std::vector<util::Time>& intra_j() noexcept { return intra_j_; }
+  [[nodiscard]] std::vector<util::Time>& intra_r() noexcept { return intra_r_; }
+  [[nodiscard]] std::vector<std::uint8_t>& intra_flags() noexcept {
+    return intra_flags_;
+  }
+  [[nodiscard]] std::uint8_t& intra_pool_valid(std::size_t pool) noexcept {
+    return intra_pool_valid_[pool];
+  }
+  // Same bookkeeping for the CAN pool (pass 3): per-message last-seen
+  // values — w/d/r are legitimate entry inputs there (w seeds the
+  // recurrence, d feeds the window predicates of every reader, r is
+  // raised by pass 1 and feeds the member's own d raise).
+  [[nodiscard]] std::vector<util::Time>& intra_m_o() noexcept { return intra_m_o_; }
+  [[nodiscard]] std::vector<util::Time>& intra_m_e() noexcept { return intra_m_e_; }
+  [[nodiscard]] std::vector<util::Time>& intra_m_j() noexcept { return intra_m_j_; }
+  [[nodiscard]] std::vector<util::Time>& intra_m_w() noexcept { return intra_m_w_; }
+  [[nodiscard]] std::vector<util::Time>& intra_m_d() noexcept { return intra_m_d_; }
+  [[nodiscard]] std::vector<util::Time>& intra_m_r() noexcept { return intra_m_r_; }
+  [[nodiscard]] std::vector<std::uint8_t>& intra_m_flags() noexcept {
+    return intra_m_flags_;
+  }
+  [[nodiscard]] std::uint8_t& intra_can_valid() noexcept {
+    return intra_can_valid_;
+  }
+  // Intra-run quiescence bookkeeping for the pass-4 FIFO drain: last-seen
+  // values of every field the drain reads or writes.  The interference
+  // predicate only examines OTHER ET->TT members, so the read set is
+  // confined to the ET->TT member fields themselves — if none of them
+  // moved since the previous drain of this run, and that drain changed
+  // nothing and attempted no over-cap raise, re-running it is a no-op.
+  [[nodiscard]] std::vector<util::Time>& intra_t_o() noexcept { return intra_t_o_; }
+  [[nodiscard]] std::vector<util::Time>& intra_t_e() noexcept { return intra_t_e_; }
+  [[nodiscard]] std::vector<util::Time>& intra_t_j() noexcept { return intra_t_j_; }
+  [[nodiscard]] std::vector<util::Time>& intra_t_w() noexcept { return intra_t_w_; }
+  [[nodiscard]] std::vector<util::Time>& intra_t_r() noexcept { return intra_t_r_; }
+  [[nodiscard]] std::vector<util::Time>& intra_t_d() noexcept { return intra_t_d_; }
+  [[nodiscard]] std::vector<util::Time>& intra_t_i() noexcept { return intra_t_i_; }
+  [[nodiscard]] std::vector<util::Time>& intra_t_wait() noexcept {
+    return intra_t_wait_;
+  }
+  /// bit0: the stored values are from this run; bit1: the last drain was
+  /// change-free and divergence-free (both required to skip).
+  [[nodiscard]] std::uint8_t& intra_ttp_state() noexcept {
+    return intra_ttp_state_;
+  }
+
+  // Per-graph pass-1 activity bytes: propagate sweeps a graph only while
+  // its byte is set.  The byte clears when a sweep fires no raise and no
+  // divergence attempt (such a sweep is provably a no-op next pass: every
+  // write is either an idempotent schedule-constant assign or a raise
+  // whose target is a deterministic function of the sweep-order state,
+  // and the model forbids cross-graph arcs), and re-arms whenever passes
+  // 2-4 change any value of a member of the graph.
+  [[nodiscard]] std::vector<std::uint8_t>& p1_active() noexcept {
+    return p1_active_;
+  }
+  /// Graph index of each process / message (dense, built once).
+  [[nodiscard]] const std::vector<std::uint32_t>& proc_graph() const noexcept {
+    return proc_graph_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& msg_graph() const noexcept {
+    return msg_graph_;
+  }
+  /// Invalidates all per-pool intra-run bookkeeping (start of every run).
+  void reset_intra() noexcept {
+    std::fill(intra_pool_valid_.begin(), intra_pool_valid_.end(),
+              std::uint8_t{0});
+    intra_can_valid_ = 0;
+    intra_ttp_state_ = 0;
+    std::fill(p1_active_.begin(), p1_active_.end(), std::uint8_t{1});
+  }
+
+  /// Cached priority-compacted candidate lists, reused across evaluations
+  /// (tentpole 2).  The static candidate relation of a pool member
+  /// depends only on the pool's priority vector (pair classes are baked
+  /// at build time), so the lists stay valid until a priority inside the
+  /// pool changes — and then only the members whose relative order
+  /// against a changed member flipped need rebuilding.  `prio` is the
+  /// fingerprint the kernels revalidate against on entry.
+  struct CandidateCache {
+    bool valid = false;
+    std::vector<Priority> prio;       ///< priorities the lists were built under
+    std::vector<std::uint32_t> list;  ///< stride-n: hp candidates of member x
+    std::vector<std::uint8_t> cls;    ///< pair class of each stored candidate
+    std::vector<std::uint32_t> len;   ///< candidate count per member
+    /// Member indices in ascending priority-value order (ties by index):
+    /// every candidate of a member precedes it, so a single sweep computes
+    /// the transitive closure of "reads a dirty member" (pass-2 refined
+    /// recompute mask).
+    std::vector<std::uint32_t> order;
+    /// CAN pool only: the non-higher-priority blocking candidates.
+    std::vector<std::uint32_t> blk_list;
+    std::vector<std::uint8_t> blk_cls;
+    std::vector<std::uint32_t> blk_len;
+
+    [[nodiscard]] std::size_t footprint_bytes() const noexcept {
+      return (list.capacity() + blk_list.capacity() + len.capacity() +
+              blk_len.capacity() + order.capacity()) *
+                 sizeof(std::uint32_t) +
+             cls.capacity() + blk_cls.capacity() +
+             prio.capacity() * sizeof(Priority);
+    }
+  };
+  [[nodiscard]] CandidateCache& proc_cand_cache(std::size_t pool) noexcept {
+    return proc_cand_cache_[pool];
+  }
+  [[nodiscard]] CandidateCache& can_cand_cache() noexcept {
+    return can_cand_cache_;
+  }
+
+  /// Scratch + candidate-cache heap footprint (memory-stability tests).
+  [[nodiscard]] std::size_t scratch_footprint_bytes() const noexcept {
+    std::size_t total = packed_scratch_.footprint_bytes();
+    for (const CandidateCache& c : proc_cand_cache_) total += c.footprint_bytes();
+    return total + can_cand_cache_.footprint_bytes();
+  }
+
+  /// True when every pool period (and the divergence cap) fits the
+  /// branch-free magic-division encoding; decided once at build time.
+  /// False downgrades AnalysisKernel::Simd to the packed-scalar kernel.
+  [[nodiscard]] bool simd_supported() const noexcept { return simd_supported_; }
+
+  /// Name of the kernel that actually runs when `requested` is asked for
+  /// ("simd" only under an MCS_SIMD build with simd_supported()).
+  [[nodiscard]] const char* active_kernel_name(AnalysisKernel requested) const noexcept {
+    if (requested == AnalysisKernel::Simd &&
+        !(simd_compiled() && simd_supported_)) {
+      return kernel_name(AnalysisKernel::Packed);
+    }
+    return kernel_name(requested);
+  }
 
   // --- reusable fixed-point state -------------------------------------
   /// All mutable per-activity state of one analysis run.  Owned by the
@@ -231,6 +423,12 @@ public:
     std::vector<std::int32_t> p2_div; ///< per-process pass-2 increments
     std::int32_t can_div = 0;         ///< pass-3 increment
     std::int32_t ttp_div = 0;         ///< pass-4 increment
+    /// Copy-on-dirty capture (tentpole 3): set when this pass replayed
+    /// bit-equal to the same pass of the base trajectory, so `end` and
+    /// the mid vectors were NOT copied.  commit_mcs_capture() materializes
+    /// such passes by swapping the base's buffers in; the flag never
+    /// survives a commit.
+    bool from_base = false;
   };
 
   /// Recorded trajectory of one response-time-analysis run.  `used`
@@ -243,6 +441,10 @@ public:
     bool complete = false;
     BufferBounds bounds;
     bool bounds_valid = false;
+    /// Index of the base-run record this capture diffed against (npos
+    /// when captured cold).  Resolves `from_base` passes at commit time.
+    static constexpr std::size_t kNoBaseRecord = static_cast<std::size_t>(-1);
+    std::size_t base_record = kNoBaseRecord;
   };
 
   /// Trajectories longer than this are captured up to the cap; delta runs
@@ -287,8 +489,11 @@ public:
   [[nodiscard]] McsBase& mcs_base() noexcept { return mcs_base_; }
   /// The in-progress capture (internal to multi_cluster_scheduling).
   [[nodiscard]] McsBase& mcs_capture() noexcept { return mcs_capture_; }
-  /// Publishes the capture as the new base (buffer swap, no copies).
-  void commit_mcs_capture() noexcept { std::swap(mcs_base_, mcs_capture_); }
+  /// Publishes the capture as the new base.  Pass snapshots flagged
+  /// `from_base` first steal (swap) their buffers from the outgoing base
+  /// trajectory they replayed, then the whole capture swaps in — no
+  /// full-state copies on the equal path.
+  void commit_mcs_capture();
   /// Drops the recorded base (the next delta-mode run falls back to cold).
   void invalidate_mcs_base() noexcept {
     mcs_base_.valid = false;
@@ -346,6 +551,22 @@ private:
   std::vector<ProcPool> proc_pools_;
   CanPool can_pool_;
   PackedScratch packed_scratch_;
+  std::vector<CandidateCache> proc_cand_cache_;
+  CandidateCache can_cand_cache_;
+  bool simd_supported_ = false;
+
+  std::vector<util::Time> intra_o_, intra_e_, intra_j_, intra_r_;
+  std::vector<std::uint8_t> intra_flags_;
+  std::vector<std::uint8_t> intra_pool_valid_;
+  std::vector<util::Time> intra_m_o_, intra_m_e_, intra_m_j_, intra_m_w_,
+      intra_m_d_, intra_m_r_;
+  std::vector<std::uint8_t> intra_m_flags_;
+  std::uint8_t intra_can_valid_ = 0;
+  std::vector<util::Time> intra_t_o_, intra_t_e_, intra_t_j_, intra_t_w_,
+      intra_t_r_, intra_t_d_, intra_t_i_, intra_t_wait_;
+  std::uint8_t intra_ttp_state_ = 0;
+  std::vector<std::uint8_t> p1_active_;
+  std::vector<std::uint32_t> proc_graph_, msg_graph_;
 
   State state_;
 
@@ -354,6 +575,8 @@ private:
   McsBase mcs_base_;
   McsBase mcs_capture_;
   std::vector<std::uint8_t> prio_changed_scratch_;
+  /// Commit-time collision map: first stealer of each base (record, pass).
+  std::vector<PassSnapshot*> steal_scratch_;
 
   std::vector<TraceRecord>* trace_sink_ = nullptr;
   int trace_iteration_ = -1;

@@ -93,8 +93,10 @@ McsResult mcs_run(const model::Application& app, const arch::Platform& platform,
     // a pure function of (app, platform, tdma, constraints) and the TDMA
     // round is fingerprint-identical to the base, so equal constraints
     // replay the recorded schedule verbatim.
+    bool schedule_memoized = false;
     if (rec != nullptr && constraints.process_release == rec->constraints_release) {
       result.schedule = rec->schedule;
+      schedule_memoized = true;
       ++stats.schedule_memo_hits;
     } else {
       result.schedule =
@@ -136,11 +138,19 @@ McsResult mcs_run(const model::Application& app, const arch::Platform& platform,
       rta_delta.proc_prio_changed = dirt.proc;
       rta_delta.base_process_priorities = dirt.base_proc_prio;
       rta_delta.msg_prio_dirty = dirt.msg;
+      rta_delta.schedule_memoized = schedule_memoized;
       delta = &rta_delta;
     }
     workspace.set_trace_iteration(iter);
     result.analysis = response_time_analysis(
         input, workspace, delta, cap_rec != nullptr ? &cap_rec->traj : nullptr);
+    // Remember which base record this iteration replayed against so that
+    // commit_mcs_capture can resolve any from_base pass snapshots the run
+    // recorded (copy-on-dirty capture, DESIGN.md §2).
+    if (cap_rec != nullptr && rec != nullptr) {
+      cap_rec->traj.base_record =
+          base->iter_record[static_cast<std::size_t>(iter)];
+    }
 
     // Feed worst-case ETC->TTC deliveries back as TT release constraints.
     // Only gateway-bound (ET->TT) messages can generate constraints; the

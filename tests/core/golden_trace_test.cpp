@@ -44,15 +44,17 @@ gen::GeneratorParams small_system(std::uint64_t seed, std::size_t tt = 2,
 }
 
 std::vector<TraceRecord> record_trace(const model::Application& app,
-                                      const arch::Platform& platform) {
+                                      const arch::Platform& platform,
+                                      AnalysisKernel kernel) {
   AnalysisWorkspace ws(app, platform);
   ws.set_delta_mode(DeltaMode::Off);
   std::vector<TraceRecord> records;
   ws.set_trace_sink(&records);
   const Candidate cand = Candidate::initial(app, platform);
   SystemConfig cfg = cand.to_config(app);
-  (void)multi_cluster_scheduling(app, platform, cfg, cand.pins, McsOptions{},
-                                 ws);
+  McsOptions options;
+  options.analysis.kernel = kernel;
+  (void)multi_cluster_scheduling(app, platform, cfg, cand.pins, options, ws);
   ws.set_trace_sink(nullptr);
   return records;
 }
@@ -102,13 +104,31 @@ bool read_golden(const std::string& name, std::vector<TraceRecord>& records) {
 void check_against_golden(const std::string& name,
                           const model::Application& app,
                           const arch::Platform& platform) {
-  const std::vector<TraceRecord> actual = record_trace(app, platform);
+  const std::vector<TraceRecord> actual =
+      record_trace(app, platform, McsOptions{}.analysis.kernel);
   ASSERT_FALSE(actual.empty());
 
   if (std::getenv("MCS_REGEN_GOLDEN") != nullptr) {
-    write_golden(name, actual);
+    // Refuse to bake a Packed/SIMD kernel bug into the fixture: whatever
+    // kernel produced `actual`, it must first reproduce the independent
+    // Reference trajectory record-for-record.  Only the cross-checked
+    // trace is written.
+    const std::vector<TraceRecord> ref =
+        record_trace(app, platform, AnalysisKernel::Reference);
+    ASSERT_EQ(ref.size(), actual.size())
+        << name << ": regen refused — the active kernel's trajectory has a "
+        << "different record count than the Reference kernel";
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_TRUE(ref[i].mcs_iteration == actual[i].mcs_iteration &&
+                  ref[i].pass == actual[i].pass && ref[i].hash == actual[i].hash)
+          << name << ": regen refused — active kernel diverges from the "
+          << "Reference kernel at record " << i << " (MCS iteration "
+          << ref[i].mcs_iteration << ", pass " << ref[i].pass
+          << "); fix the kernel before regenerating goldens";
+    }
+    write_golden(name, ref);
     GTEST_SKIP() << "regenerated " << golden_path(name) << " ("
-                 << actual.size() << " records)";
+                 << actual.size() << " records, Reference-verified)";
   }
 
   std::vector<TraceRecord> golden;

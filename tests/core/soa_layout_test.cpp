@@ -121,14 +121,24 @@ TEST(SoaLayout, PackedKernelBitIdenticalToReference) {
   }
 
   for (const SystemUnderTest& sut : systems) {
-    McsOptions packed;  // AnalysisKernel::Packed is the default
+    // Full kernel matrix: the vectorized kernel and the packed-scalar
+    // kernel must both reproduce the Reference oracle bit-for-bit, on
+    // every candidate, through reused workspaces.
+    McsOptions simd;
+    simd.analysis.kernel = AnalysisKernel::Simd;
+    McsOptions packed;
+    packed.analysis.kernel = AnalysisKernel::Packed;
     McsOptions reference;
     reference.analysis.kernel = AnalysisKernel::Reference;
     const MoveContext ctx(sut.app, sut.platform, McsOptions{});
+    AnalysisWorkspace ws_simd(sut.app, sut.platform);
     AnalysisWorkspace ws_packed(sut.app, sut.platform);
     AnalysisWorkspace ws_reference(sut.app, sut.platform);
 
     for (const Candidate& cand : candidate_family(ctx)) {
+      SystemConfig cfg_s = cand.to_config(sut.app);
+      const McsResult v = multi_cluster_scheduling(sut.app, sut.platform, cfg_s,
+                                                   cand.pins, simd, ws_simd);
       SystemConfig cfg_p = cand.to_config(sut.app);
       const McsResult p = multi_cluster_scheduling(sut.app, sut.platform, cfg_p,
                                                    cand.pins, packed, ws_packed);
@@ -136,9 +146,68 @@ TEST(SoaLayout, PackedKernelBitIdenticalToReference) {
       const McsResult r = multi_cluster_scheduling(
           sut.app, sut.platform, cfg_r, cand.pins, reference, ws_reference);
       std::string why;
-      EXPECT_TRUE(bit_identical(p, r, &why)) << why;
+      EXPECT_TRUE(bit_identical(v, r, &why)) << "simd vs reference: " << why;
+      EXPECT_TRUE(bit_identical(p, r, &why)) << "packed vs reference: " << why;
+      EXPECT_EQ(cfg_s.process_offsets(), cfg_r.process_offsets());
+      EXPECT_EQ(cfg_s.message_offsets(), cfg_r.message_offsets());
       EXPECT_EQ(cfg_p.process_offsets(), cfg_r.process_offsets());
       EXPECT_EQ(cfg_p.message_offsets(), cfg_r.message_offsets());
+    }
+  }
+}
+
+// PackedScratch + candidate-cache memory behavior: one workspace driven
+// across a cross-suite walk (paper example, tiny suite, generated small
+// systems; every move kind) must reach its high-water scratch capacity in
+// the first round and never grow again — and the reused scratch must stay
+// bit-identical to a fresh workspace on every single evaluation under the
+// aligned lane layout.
+TEST(SoaLayout, ScratchFootprintStabilizesAndReuseStaysExact) {
+  struct SystemUnderTest {
+    model::Application app;
+    arch::Platform platform;
+  };
+  std::vector<SystemUnderTest> systems;
+  {
+    auto ex = gen::make_paper_example();
+    systems.push_back({std::move(ex.app), std::move(ex.platform)});
+  }
+  for (const auto& point : gen::tiny_suite(1)) {
+    auto sys = gen::generate(point.params);
+    systems.push_back({std::move(sys.app), std::move(sys.platform)});
+  }
+  for (const std::uint64_t seed : {11u, 33u}) {
+    auto sys = gen::generate(small_system(seed));
+    systems.push_back({std::move(sys.app), std::move(sys.platform)});
+  }
+
+  McsOptions simd;
+  simd.analysis.kernel = AnalysisKernel::Simd;
+  for (const SystemUnderTest& sut : systems) {
+    const MoveContext ctx(sut.app, sut.platform, simd);
+    const std::vector<Candidate> family = candidate_family(ctx);
+    AnalysisWorkspace reused(sut.app, sut.platform);
+    std::size_t high_water = 0;
+    for (int round = 0; round < 3; ++round) {
+      for (const Candidate& cand : family) {
+        SystemConfig cfg = cand.to_config(sut.app);
+        const McsResult warm = multi_cluster_scheduling(
+            sut.app, sut.platform, cfg, cand.pins, simd, reused);
+        AnalysisWorkspace fresh_ws(sut.app, sut.platform);
+        SystemConfig cfg_f = cand.to_config(sut.app);
+        const McsResult fresh = multi_cluster_scheduling(
+            sut.app, sut.platform, cfg_f, cand.pins, simd, fresh_ws);
+        std::string why;
+        EXPECT_TRUE(bit_identical(warm, fresh, &why))
+            << "reused vs fresh scratch: " << why;
+      }
+      if (round == 0) {
+        high_water = reused.scratch_footprint_bytes();
+        EXPECT_GT(high_water, 0u);
+      } else {
+        EXPECT_EQ(reused.scratch_footprint_bytes(), high_water)
+            << "scratch grew after warm-up round (unbounded growth)";
+      }
     }
   }
 }

@@ -1,0 +1,98 @@
+#include "mcs/util/magic_div.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "mcs/util/rng.hpp"
+
+namespace mcs::util {
+namespace {
+
+void expect_exact(std::int64_t d, std::uint64_t x) {
+  const MagicDiv m = MagicDiv::make(d);
+  const std::uint64_t expect = x / static_cast<std::uint64_t>(d);
+  ASSERT_EQ(m.divide(x), expect) << "d=" << d << " x=" << x;
+}
+
+TEST(MagicDivTest, SmallDivisorsExhaustiveDividends) {
+  for (std::int64_t d = 2; d <= 100; ++d) {
+    for (std::uint64_t x = 0; x <= 4096; ++x) expect_exact(d, x);
+  }
+}
+
+TEST(MagicDivTest, MultipleBoundariesAcrossDivisorShapes) {
+  // Around every multiple k*d the quotient steps; k*d - 1, k*d, k*d + 1
+  // are the exact spots a rounding error in the magic constant shows up.
+  const std::vector<std::int64_t> divisors = {
+      2,    3,    5,    7,     10,        60,         255,  256,
+      257,  999,  1000, 4095,  4096,      4097,       65535, 65536,
+      65537, 1000003, (std::int64_t{1} << 31) - 1, std::int64_t{1} << 31,
+      (std::int64_t{1} << 31) + 1, (std::int64_t{1} << 61) - 1,
+      std::int64_t{1} << 61, MagicDiv::kMaxDivisor - 1, MagicDiv::kMaxDivisor};
+  Rng rng(0xfeed);
+  for (const std::int64_t d : divisors) {
+    const auto ud = static_cast<std::uint64_t>(d);
+    for (int trial = 0; trial < 256; ++trial) {
+      const std::uint64_t k = rng.engine()() % (~std::uint64_t{0} / ud);
+      const std::uint64_t base = k * ud;
+      expect_exact(d, base);
+      expect_exact(d, base + 1);
+      if (base > 0) expect_exact(d, base - 1);
+    }
+    expect_exact(d, 0);
+    expect_exact(d, ud - 1);
+    expect_exact(d, ~std::uint64_t{0});
+    expect_exact(d, std::uint64_t{1} << 63);
+    expect_exact(d, (std::uint64_t{1} << 63) - 1);
+  }
+}
+
+TEST(MagicDivTest, RandomDivisorsRandomDividends) {
+  Rng rng(20260807);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const std::int64_t d =
+        2 + static_cast<std::int64_t>(
+                rng.engine()() % static_cast<std::uint64_t>(MagicDiv::kMaxDivisor - 1));
+    expect_exact(d, rng.engine()());
+  }
+}
+
+TEST(MagicDivTest, PowerOfTwoDivisors) {
+  Rng rng(42);
+  for (int k = 1; k <= 62; ++k) {
+    const std::int64_t d = std::int64_t{1} << k;
+    expect_exact(d, 0);
+    expect_exact(d, ~std::uint64_t{0});
+    for (int trial = 0; trial < 64; ++trial) expect_exact(d, rng.engine()());
+  }
+}
+
+TEST(MagicDivTest, RejectsUnsupportedDivisors) {
+  EXPECT_FALSE(MagicDiv::supports(0));
+  EXPECT_FALSE(MagicDiv::supports(1));
+  EXPECT_FALSE(MagicDiv::supports(-5));
+  EXPECT_FALSE(MagicDiv::supports(MagicDiv::kMaxDivisor + 1));
+  EXPECT_TRUE(MagicDiv::supports(2));
+  EXPECT_TRUE(MagicDiv::supports(MagicDiv::kMaxDivisor));
+  EXPECT_THROW((void)MagicDiv::make(1), std::invalid_argument);
+  EXPECT_THROW((void)MagicDiv::make(0), std::invalid_argument);
+}
+
+TEST(MagicDivTest, MulhiMatchesWideProduct) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const std::uint64_t a = rng.engine()();
+    const std::uint64_t b = rng.engine()();
+#if defined(__SIZEOF_INT128__)
+    const auto wide = static_cast<unsigned __int128>(a) * b;
+    ASSERT_EQ(mulhi_u64(a, b), static_cast<std::uint64_t>(wide >> 64));
+#else
+    GTEST_SKIP() << "no 128-bit reference available";
+#endif
+  }
+}
+
+}  // namespace
+}  // namespace mcs::util

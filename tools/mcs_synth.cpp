@@ -15,6 +15,11 @@
 //   --trace                 print the simulation trace (implies --simulate)
 //   --dump-config           print the synthesized configuration (slots,
 //                           priorities, schedule table)
+//   --stats                 print evaluation-engine counters after the
+//                           run: active analysis kernel, DeltaStats
+//                           (replays/fallbacks/memo hits/skips),
+//                           candidate-list cache hit rate, evaluation
+//                           cache hit rate, scratch footprint
 //
 // Campaign mode (parallel multi-seed/multi-suite sweeps, see
 // src/exp/campaign.hpp and DESIGN.md §4):
@@ -65,7 +70,7 @@ using namespace mcs;
 
 namespace {
 
-constexpr const char* kVersion = "0.5.0";
+constexpr const char* kVersion = "0.6.0";
 
 struct Options {
   std::string path;
@@ -75,6 +80,7 @@ struct Options {
   bool simulate = false;
   bool trace = false;
   bool dump_config = false;
+  bool stats = false;
   std::string campaign;  ///< spec path; non-empty selects campaign mode
   std::string validate;  ///< spec path; non-empty selects validation mode
   std::string faults;    ///< fault-spec path (single-system or validation)
@@ -87,7 +93,7 @@ void usage() {
   std::fprintf(stderr,
                "usage: mcs_synth <system.mcs> [--strategy sf|os|or] "
                "[--conservative] [--paper-ttp] [--simulate] "
-               "[--faults <spec>] [--trace] [--dump-config]\n"
+               "[--faults <spec>] [--trace] [--dump-config] [--stats]\n"
                "       mcs_synth --campaign <spec> [--jobs N] "
                "[--report-json <file>] [--report-csv <file>]\n"
                "       mcs_synth --validate <spec> [--faults <spec>] "
@@ -99,7 +105,13 @@ bool parse_args(int argc, char** argv, Options& options) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--version") {
-      std::printf("mcs_synth %s\n", kVersion);
+      // The default kernel request is Simd; it resolves to the scalar
+      // packed kernel when the library was built with MCS_SIMD=OFF (and,
+      // per system, when a period is not magic-encodable — see --stats).
+      std::printf("mcs_synth %s (analysis kernel: %s)\n", kVersion,
+                  core::simd_compiled()
+                      ? core::kernel_name(core::AnalysisKernel::Simd)
+                      : core::kernel_name(core::AnalysisKernel::Packed));
       std::exit(0);
     } else if (arg == "--campaign") {
       if (++i >= argc) return false;
@@ -146,6 +158,8 @@ bool parse_args(int argc, char** argv, Options& options) {
       options.trace = true;
     } else if (arg == "--dump-config") {
       options.dump_config = true;
+    } else if (arg == "--stats") {
+      options.stats = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return false;
     } else if (options.path.empty()) {
@@ -363,6 +377,61 @@ void report(const gen::ParsedSystem& sys, const core::Candidate& candidate,
   }
 }
 
+// Evaluation-engine counters for the single-system synthesis run: which
+// kernel actually ran (the Simd request downgrades per system when a
+// period is not magic-encodable), how often the delta machinery replayed
+// vs fell back, and what the reuse layers (candidate-list cache,
+// evaluation cache, snapshot stealing, intra-run skips) delivered.
+void print_stats(const core::MoveContext& ctx,
+                 const core::McsOptions& mcs_options) {
+  const core::AnalysisWorkspace& ws = ctx.workspace();
+  const core::DeltaStats& d = ws.delta_stats();
+  const auto pct = [](std::uint64_t part, std::uint64_t whole) {
+    return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) /
+                                  static_cast<double>(whole);
+  };
+  std::printf("\nevaluation engine stats:\n");
+  std::printf("  analysis kernel        %s (requested: %s)\n",
+              ws.active_kernel_name(mcs_options.analysis.kernel),
+              core::kernel_name(mcs_options.analysis.kernel));
+  std::printf("  mcs runs               %llu full, %llu delta replays, "
+              "%llu fallbacks\n",
+              static_cast<unsigned long long>(d.full_runs),
+              static_cast<unsigned long long>(d.delta_runs),
+              static_cast<unsigned long long>(d.fallbacks));
+  std::printf("  delta checks           %llu checked, %llu mismatches\n",
+              static_cast<unsigned long long>(d.checked),
+              static_cast<unsigned long long>(d.mismatches));
+  std::printf("  schedule memo hits     %llu\n",
+              static_cast<unsigned long long>(d.schedule_memo_hits));
+  std::printf("  elided mcs iterations  %llu\n",
+              static_cast<unsigned long long>(d.elided_iterations));
+  std::printf("  pass components        %llu replayed, %llu recomputed, "
+              "%llu settled no-ops\n",
+              static_cast<unsigned long long>(d.components_skipped),
+              static_cast<unsigned long long>(d.components_recomputed),
+              static_cast<unsigned long long>(d.settled_skips));
+  std::printf("  candidate-list cache   %llu hits, %llu rebuilds "
+              "(%.1f%% hit rate)\n",
+              static_cast<unsigned long long>(d.cand_cache_hits),
+              static_cast<unsigned long long>(d.cand_cache_rebuilds),
+              pct(d.cand_cache_hits, d.cand_cache_hits + d.cand_cache_rebuilds));
+  std::printf("  snapshots stolen       %llu\n",
+              static_cast<unsigned long long>(d.snapshots_stolen));
+  std::printf("  fixed-point skips      %llu members, %llu pass-1 graphs, "
+              "%llu pass-2 mask refinements\n",
+              static_cast<unsigned long long>(d.intra_skips),
+              static_cast<unsigned long long>(d.p1_graph_skips),
+              static_cast<unsigned long long>(d.mask_refinements));
+  const std::uint64_t hits = ctx.evaluation_cache().hits();
+  const std::uint64_t lookups = hits + ctx.evaluation_cache().misses();
+  std::printf("  evaluation cache       %llu/%llu hits (%.1f%% hit rate)\n",
+              static_cast<unsigned long long>(hits),
+              static_cast<unsigned long long>(lookups), pct(hits, lookups));
+  std::printf("  scratch footprint      %zu bytes (stable per workspace)\n",
+              ws.scratch_footprint_bytes());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -398,15 +467,18 @@ int main(int argc, char** argv) {
     if (options.strategy == "sf") {
       const auto sf = core::straightforward(ctx);
       report(sys, sf.candidate, sf.evaluation, options);
+      if (options.stats) print_stats(ctx, mcs_options);
       return sf.evaluation.schedulable ? 0 : 1;
     }
     if (options.strategy == "os") {
       const auto os = core::optimize_schedule(ctx);
       report(sys, os.best, os.best_eval, options);
+      if (options.stats) print_stats(ctx, mcs_options);
       return os.best_eval.schedulable ? 0 : 1;
     }
     const auto orr = core::optimize_resources(ctx);
     report(sys, orr.best, orr.best_eval, options);
+    if (options.stats) print_stats(ctx, mcs_options);
     return orr.best_eval.schedulable ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
