@@ -50,6 +50,7 @@ OptimizeScheduleResult optimize_schedule(const MoveContext& ctx,
   // Evaluate a candidate: HOPA priorities for its beta, then one full
   // evaluation for the buffer/schedulability metrics.
   auto evaluate_with_hopa = [&](Candidate& cand) -> Evaluation {
+    if (options.cancel) options.cancel->throw_if_cancelled();
     const HopaResult hopa = hopa_priorities(app, platform, cand.tdma,
                                             ctx.workspace(), options.hopa);
     cand.process_priorities = hopa.process_priorities;

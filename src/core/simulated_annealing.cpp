@@ -45,6 +45,9 @@ SaResult simulated_annealing(const MoveContext& ctx, const Candidate& start,
   std::uint64_t clock_poll = 0;
   std::uint64_t last_misses = ctx.evaluation_cache().misses();
   auto out_of_time = [&] {
+    // The cancellation poll rides the same call sites as the budget check
+    // but throws instead of returning: see SaOptions::cancel.
+    if (options.cancel) options.cancel->throw_if_cancelled();
     if (options.max_milliseconds <= 0) return false;
     if (timed_out) return true;
     const std::uint64_t misses = ctx.evaluation_cache().misses();

@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "mcs/core/moves.hpp"
+#include "mcs/util/cancel.hpp"
 
 namespace mcs::core {
 
@@ -31,6 +32,11 @@ struct SaOptions {
   /// Early exit once the best cost reaches this value (used by the
   /// run-time comparison harness: "time for SA to match OS quality").
   std::optional<double> target_cost;
+  /// Cooperative cancellation: polled once per evaluation alongside the
+  /// wall-clock budget; a set token unwinds with util::CancelledError so
+  /// the job runtime records a deterministic timeout row (no partial,
+  /// clock-dependent result escapes).  Not owned; may be null.
+  const util::CancelToken* cancel = nullptr;
   std::uint64_t seed = 1;
 };
 

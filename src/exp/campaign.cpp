@@ -8,9 +8,12 @@
 #include <sstream>
 #include <stdexcept>
 
+#include <optional>
+
 #include "mcs/core/optimize_resources.hpp"
 #include "mcs/core/simulated_annealing.hpp"
 #include "mcs/core/straightforward.hpp"
+#include "mcs/exp/journal.hpp"
 #include "mcs/gen/generator.hpp"
 #include "mcs/util/hash.hpp"
 #include "mcs/util/kv_parse.hpp"
@@ -46,7 +49,8 @@ constexpr const char* kSpecContext = "campaign spec";
 /// call and therefore to the one worker thread executing it.
 [[nodiscard]] JobResult run_job(const CampaignSpec& spec,
                                 const gen::SuitePoint& point,
-                                std::size_t job_index) {
+                                std::size_t job_index,
+                                const util::CancelToken& cancel) {
   const auto job_start = std::chrono::steady_clock::now();
   JobResult job;
   job.job_index = job_index;
@@ -63,6 +67,7 @@ constexpr const char* kSpecContext = "campaign spec";
 
   core::OptimizeScheduleOptions os_options;
   os_options.hopa.max_iterations = spec.budgets.hopa_iterations;
+  os_options.cancel = &cancel;
   core::OptimizeResourcesOptions or_options;
   or_options.schedule = os_options;
   or_options.max_seed_starts = spec.budgets.or_max_seed_starts;
@@ -75,6 +80,7 @@ constexpr const char* kSpecContext = "campaign spec";
   core::Candidate sa_start = core::Candidate::initial(sys.app, sys.platform);
 
   for (std::size_t si = 0; si < spec.strategies.size(); ++si) {
+    cancel.throw_if_cancelled();
     const Strategy strategy = spec.strategies[si];
     StrategyOutcome outcome;
     outcome.strategy = strategy;
@@ -126,6 +132,7 @@ constexpr const char* kSpecContext = "campaign spec";
         // No wall-clock budget: a time limit would make the trajectory —
         // and thus the result — depend on machine load (DESIGN.md §4).
         sa.max_milliseconds = 0;
+        sa.cancel = &cancel;
         sa.seed = derive_seed(spec.campaign_seed, job_index, si);
         const auto sar = core::simulated_annealing(ctx, sa_start, sa);
         outcome.schedulable = sar.best_eval.schedulable;
@@ -144,18 +151,20 @@ constexpr const char* kSpecContext = "campaign spec";
   return job;
 }
 
-/// Report row for a job whose execution threw: identification comes from
-/// the suite point (so the row is still attributable and replayable), the
-/// outcome fields stay empty.
-[[nodiscard]] JobResult failed_job(const gen::SuitePoint& point,
-                                   std::size_t job_index, std::string error) {
+/// Report row for a job that did not complete (timeout / failed / shed /
+/// pending): identification comes from the suite point (so the row is
+/// still attributable and replayable), the outcome fields stay empty.
+[[nodiscard]] JobResult degraded_job(const gen::SuitePoint& point,
+                                     std::size_t job_index,
+                                     const JobDisposition& disposition) {
   JobResult job;
   job.job_index = job_index;
   job.dimension = point.dimension;
   job.replica = point.replica;
   job.system_seed = point.params.seed;
-  job.failed = true;
-  job.error = std::move(error);
+  job.state = disposition.state;
+  job.attempts = disposition.attempts;
+  job.error = disposition.error;
   return job;
 }
 
@@ -199,7 +208,8 @@ void update_signature(util::Fnv1a& h, const JobResult& job) {
     h.update(o.s_total_before);
     h.update(static_cast<std::int64_t>(o.evaluations));
   }
-  h.update(static_cast<std::uint64_t>(job.failed ? 1 : 0));
+  h.update(static_cast<std::uint64_t>(job.state));
+  h.update(static_cast<std::uint64_t>(job.attempts));
   update_signature(h, job.error);
 }
 
@@ -292,6 +302,12 @@ CampaignSpec parse_campaign_spec(std::istream& in) {
       spec.anneal_unschedulable_starts = util::kv_bool(e, kSpecContext);
     } else if (e.key == "jobs") {
       spec.jobs = static_cast<std::size_t>(util::kv_u64(e, kSpecContext));
+    } else if (e.key == "job_timeout_ms") {
+      spec.job_timeout_ms = static_cast<std::int64_t>(util::kv_u64(e, kSpecContext));
+    } else if (e.key == "max_retries") {
+      spec.max_retries = util::kv_int(e, kSpecContext);
+    } else if (e.key == "queue_limit") {
+      spec.queue_limit = static_cast<std::size_t>(util::kv_u64(e, kSpecContext));
     } else if (e.key == "sa_max_evaluations") {
       spec.budgets.sa_max_evaluations = util::kv_int(e, kSpecContext);
     } else if (e.key == "hopa_iterations") {
@@ -338,7 +354,106 @@ std::uint64_t CampaignResult::signature() const {
   return h.digest();
 }
 
+std::uint64_t campaign_spec_digest(const CampaignSpec& spec) {
+  util::Fnv1a h;
+  update_signature(h, spec.suite);
+  h.update(static_cast<std::uint64_t>(spec.seeds_per_dim));
+  h.update(spec.suite_base_seed);
+  h.update(spec.campaign_seed);
+  h.update(static_cast<std::uint64_t>(spec.strategies.size()));
+  for (const Strategy s : spec.strategies) h.update(static_cast<std::uint64_t>(s));
+  h.update(static_cast<std::uint64_t>(spec.conservative ? 1 : 0));
+  h.update(static_cast<std::uint64_t>(spec.paper_ttp ? 1 : 0));
+  h.update(static_cast<std::uint64_t>(spec.anneal_unschedulable_starts ? 1 : 0));
+  h.update(static_cast<std::int64_t>(spec.budgets.sa_max_evaluations));
+  h.update(static_cast<std::int64_t>(spec.budgets.hopa_iterations));
+  h.update(static_cast<std::uint64_t>(spec.budgets.or_max_seed_starts));
+  h.update(static_cast<std::int64_t>(spec.budgets.or_max_climb_iterations));
+  h.update(static_cast<std::uint64_t>(spec.budgets.or_neighbors_per_step));
+  h.update(spec.job_timeout_ms);
+  h.update(static_cast<std::int64_t>(spec.max_retries));
+  h.update(static_cast<std::uint64_t>(spec.queue_limit));
+  return h.digest();
+}
+
+std::string encode_job_result(const JobResult& job) {
+  RecordWriter w;
+  w.u64(job.job_index);
+  w.u64(job.dimension);
+  w.u64(job.replica);
+  w.u64(job.system_seed);
+  w.u64(job.processes);
+  w.u64(job.messages);
+  w.u64(job.inter_cluster_messages);
+  w.u64(static_cast<std::uint64_t>(job.state));
+  w.i64(job.attempts);
+  w.str(job.error);
+  w.f64(job.seconds);
+  w.u64(job.outcomes.size());
+  for (const StrategyOutcome& o : job.outcomes) {
+    w.u64(static_cast<std::uint64_t>(o.strategy));
+    w.u64(o.schedulable ? 1 : 0);
+    w.u64(o.skipped ? 1 : 0);
+    w.i64(static_cast<std::int64_t>(o.delta.f1));
+    w.i64(static_cast<std::int64_t>(o.delta.f2));
+    w.i64(o.s_total);
+    w.i64(o.s_total_before);
+    w.i64(o.evaluations);
+    w.f64(o.seconds);
+  }
+  return w.take();
+}
+
+JobResult decode_job_result(const std::string& payload) {
+  RecordReader r(payload);
+  JobResult job;
+  job.job_index = static_cast<std::size_t>(r.u64());
+  job.dimension = static_cast<std::size_t>(r.u64());
+  job.replica = static_cast<std::size_t>(r.u64());
+  job.system_seed = r.u64();
+  job.processes = static_cast<std::size_t>(r.u64());
+  job.messages = static_cast<std::size_t>(r.u64());
+  job.inter_cluster_messages = static_cast<std::size_t>(r.u64());
+  const std::uint64_t state = r.u64();
+  if (state > static_cast<std::uint64_t>(RunState::Pending)) {
+    throw JournalError("record holds invalid job state " + std::to_string(state));
+  }
+  job.state = static_cast<RunState>(state);
+  job.attempts = static_cast<int>(r.i64());
+  job.error = r.str();
+  job.seconds = r.f64();
+  const std::uint64_t outcomes = r.u64();
+  if (outcomes > 64) {
+    throw JournalError("record holds implausible outcome count " +
+                       std::to_string(outcomes));
+  }
+  job.outcomes.reserve(static_cast<std::size_t>(outcomes));
+  for (std::uint64_t i = 0; i < outcomes; ++i) {
+    StrategyOutcome o;
+    const std::uint64_t strategy = r.u64();
+    if (strategy > static_cast<std::uint64_t>(Strategy::Sar)) {
+      throw JournalError("record holds invalid strategy " + std::to_string(strategy));
+    }
+    o.strategy = static_cast<Strategy>(strategy);
+    o.schedulable = r.u64() != 0;
+    o.skipped = r.u64() != 0;
+    o.delta.f1 = static_cast<util::Time>(r.i64());
+    o.delta.f2 = static_cast<util::Time>(r.i64());
+    o.s_total = r.i64();
+    o.s_total_before = r.i64();
+    o.evaluations = static_cast<int>(r.i64());
+    o.seconds = r.f64();
+    job.outcomes.push_back(o);
+  }
+  return job;
+}
+
 CampaignResult run_campaign(const CampaignSpec& spec) {
+  return run_campaign(spec, CampaignRunOptions{});
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const CampaignRunOptions& options) {
   const auto start = std::chrono::steady_clock::now();
   const auto suite =
       gen::suite_by_name(spec.suite, spec.seeds_per_dim, spec.suite_base_seed);
@@ -347,26 +462,79 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
   result.spec = spec;
   result.jobs.resize(suite.size());
 
-  // More workers than jobs is pure spawn overhead (and an absurd spec
-  // value like jobs=10^9 must not reserve a thread vector that size).
-  const std::size_t requested =
-      spec.jobs == 0 ? util::ThreadPool::default_workers() : spec.jobs;
-  util::ThreadPool pool(std::min(requested, std::max<std::size_t>(1, suite.size())));
-  result.workers = pool.size();
-  // Graceful degradation: one pathological job becomes a `failed` row of
-  // the report instead of aborting the campaign and discarding every
-  // completed job through wait_idle's exception propagation.  Exception
-  // messages are deterministic, so the signature contract survives.
-  pool.parallel_for(suite.size(), [&](std::size_t i) {
-    try {
-      result.jobs[i] = run_job(spec, suite[i], i);
-    } catch (const std::exception& e) {
-      result.jobs[i] = failed_job(suite[i], i, e.what());
-    } catch (...) {
-      result.jobs[i] = failed_job(suite[i], i, "unknown exception");
+  // Checkpoint/resume: recover journaled rows first, then hand run_jobs
+  // the done[] mask so recovered jobs never re-run.
+  std::optional<JournalWriter> journal;
+  std::vector<char> done(suite.size(), 0);
+  if (!options.journal_path.empty()) {
+    const JournalHeader header{1, campaign_spec_digest(spec)};
+    if (options.resume) {
+      JournalContents recovered;
+      journal.emplace(
+          JournalWriter::open_or_create(options.journal_path, header, recovered));
+      for (const std::string& record : recovered.records) {
+        JobResult job = decode_job_result(record);
+        if (job.job_index >= suite.size() || done[job.job_index]) {
+          throw JournalError("journal record for unexpected job " +
+                             std::to_string(job.job_index));
+        }
+        done[job.job_index] = 1;
+        ++result.resumed_jobs;
+        result.jobs[job.job_index] = std::move(job);
+      }
+    } else {
+      journal.emplace(JournalWriter::create(options.journal_path, header));
     }
-  });
+  }
 
+  RuntimeOptions runtime;
+  runtime.workers = spec.jobs == 0 ? util::ThreadPool::default_workers() : spec.jobs;
+  runtime.job_timeout_ms = spec.job_timeout_ms;
+  runtime.max_retries = spec.max_retries;
+  runtime.queue_limit = spec.queue_limit;
+  runtime.retry_seed = spec.campaign_seed;
+  runtime.stop = options.stop;
+  runtime.faults = options.faults;
+
+  RuntimeReport report;
+  const std::vector<JobDisposition> dispositions = run_jobs(
+      runtime, suite.size(),
+      [&](std::size_t i, const util::CancelToken& cancel) {
+        // Only a completed run_job assigns the slot, so a retried attempt
+        // leaves no partial state behind.
+        result.jobs[i] = run_job(spec, suite[i], i, cancel);
+      },
+      options.resume ? &done : nullptr,
+      [&](std::size_t i, const JobDisposition& disposition) {
+        JobResult& job = result.jobs[i];
+        if (disposition.state == RunState::Done) {
+          job.state = RunState::Done;
+          job.attempts = disposition.attempts;
+          // A done-after-retry row keeps the transient reason it overcame.
+          job.error = disposition.error;
+        } else {
+          job = degraded_job(suite[i], i, disposition);
+        }
+        if (journal) journal->append(encode_job_result(job));
+      },
+      &report);
+
+  // Jobs the shutdown drain left unfinished (never started, or cancelled
+  // mid-attempt with the partial result discarded): attributable `pending`
+  // rows, deliberately NOT journaled — --resume re-runs exactly these.
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    if (dispositions[i].state != RunState::Pending) continue;
+    JobDisposition pending = dispositions[i];
+    pending.error = "pending: shutdown requested before the job finished";
+    result.jobs[i] = degraded_job(suite[i], i, pending);
+  }
+
+  if (journal) {
+    journal->sync();
+    journal->close();
+  }
+  result.workers = report.workers;
+  result.interrupted = report.interrupted;
   result.wall_seconds = seconds_since(start);
   return result;
 }
@@ -443,6 +611,8 @@ void write_json(const CampaignResult& result, std::ostream& out) {
     out << (i ? ", " : "") << "\"" << to_string(spec.strategies[i]) << "\"";
   }
   out << "],\n  \"workers\": " << result.workers << ",\n"
+      << "  \"interrupted\": " << (result.interrupted ? "true" : "false") << ",\n"
+      << "  \"resumed_jobs\": " << result.resumed_jobs << ",\n"
       << "  \"wall_seconds\": " << result.wall_seconds << ",\n";
   char sig[32];
   std::snprintf(sig, sizeof sig, "%016llx",
@@ -474,7 +644,9 @@ void write_json(const CampaignResult& result, std::ostream& out) {
         << ", \"system_seed\": " << job.system_seed << ", \"processes\": "
         << job.processes << ", \"messages\": " << job.messages
         << ", \"inter_cluster_messages\": " << job.inter_cluster_messages
-        << ", \"failed\": " << (job.failed ? "true" : "false")
+        << ", \"state\": \"" << to_string(job.state) << "\""
+        << ", \"attempts\": " << job.attempts
+        << ", \"failed\": " << (job.failed() ? "true" : "false")
         << ", \"error\": \"" << json_escape(job.error) << "\""
         << ", \"seconds\": " << job.seconds << ",\n     \"outcomes\": [";
     for (std::size_t si = 0; si < job.outcomes.size(); ++si) {
@@ -495,8 +667,8 @@ void write_json(const CampaignResult& result, std::ostream& out) {
 
 void write_csv(const CampaignResult& result, std::ostream& out) {
   out << "campaign,job,dimension,replica,system_seed,processes,messages,"
-         "inter_cluster_messages,strategy,schedulable,skipped,failed,error,"
-         "delta_f1,delta_f2,s_total,s_total_before,evaluations,seconds\n";
+         "inter_cluster_messages,strategy,schedulable,skipped,state,attempts,"
+         "error,delta_f1,delta_f2,s_total,s_total_before,evaluations,seconds\n";
   const std::string name = csv_escape(result.spec.name);
   for (const JobResult& job : result.jobs) {
     const auto prefix = [&](std::ostream& os) -> std::ostream& {
@@ -504,18 +676,21 @@ void write_csv(const CampaignResult& result, std::ostream& out) {
                 << job.replica << ',' << job.system_seed << ',' << job.processes
                 << ',' << job.messages << ',' << job.inter_cluster_messages;
     };
-    if (job.failed) {
-      // One row per failed job so the failure is visible in the report.
-      prefix(out) << ",-,0,0,1," << csv_escape(job.error)
-                  << ",0,0,0,0,0," << job.seconds << '\n';
+    if (job.state != RunState::Done) {
+      // One row per degraded job (timeout/failed/shed/pending) so the
+      // disposition is visible in the report.
+      prefix(out) << ",-,0,0," << to_string(job.state) << ',' << job.attempts
+                  << ',' << csv_escape(job.error) << ",0,0,0,0,0,"
+                  << job.seconds << '\n';
       continue;
     }
     for (const StrategyOutcome& o : job.outcomes) {
       prefix(out) << ',' << to_string(o.strategy) << ','
                   << (o.schedulable ? 1 : 0) << ',' << (o.skipped ? 1 : 0)
-                  << ",0,," << o.delta.f1 << ',' << o.delta.f2 << ','
-                  << o.s_total << ',' << o.s_total_before << ','
-                  << o.evaluations << ',' << o.seconds << '\n';
+                  << ',' << to_string(job.state) << ',' << job.attempts << ','
+                  << csv_escape(job.error) << ',' << o.delta.f1 << ','
+                  << o.delta.f2 << ',' << o.s_total << ',' << o.s_total_before
+                  << ',' << o.evaluations << ',' << o.seconds << '\n';
     }
   }
 }

@@ -28,6 +28,7 @@
 // CampaignResult::signature() digests.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -36,6 +37,7 @@
 
 #include "mcs/core/degree_of_schedulability.hpp"
 #include "mcs/core/multi_cluster_scheduling.hpp"
+#include "mcs/exp/job_runtime.hpp"
 #include "mcs/gen/suites.hpp"
 #include "mcs/util/table.hpp"
 
@@ -78,6 +80,11 @@ struct CampaignSpec {
   bool anneal_unschedulable_starts = true;
   CampaignBudgets budgets;
   std::size_t jobs = 1;  ///< worker threads (0 = one per hardware core)
+  /// Resilience knobs, forwarded to the job runtime (see job_runtime.hpp).
+  /// All three are part of the spec digest: they change which rows exist.
+  std::int64_t job_timeout_ms = 0;  ///< per-attempt watchdog (0 = off)
+  int max_retries = 0;              ///< transient-failure retries per job
+  std::size_t queue_limit = 0;      ///< admission control (0 = unlimited)
 
   [[nodiscard]] core::McsOptions mcs_options() const;
 };
@@ -124,12 +131,18 @@ struct JobResult {
   std::size_t messages = 0;
   std::size_t inter_cluster_messages = 0;
   std::vector<StrategyOutcome> outcomes;
-  /// An exception escaped this job (error holds what()); the remaining
-  /// fields describe however far the job got.  Failed jobs are ordinary
-  /// report rows — they never abort the campaign or discard other jobs.
-  bool failed = false;
+  /// How the job runtime settled this job (DESIGN.md §6): `done` rows
+  /// carry outcomes; `timeout`/`failed`/`shed`/`pending` rows are ordinary
+  /// report rows with `error` explaining why — they never abort the
+  /// campaign or discard other jobs.
+  RunState state = RunState::Done;
+  /// Attempts the runtime started (> 1 means transient retries happened;
+  /// for a `done` row `error` then records the reason that was overcome).
+  int attempts = 1;
   std::string error;
   double seconds = 0.0;
+
+  [[nodiscard]] bool failed() const { return state == RunState::Failed; }
 
   /// FNV-1a over every deterministic field (wall-clock times excluded).
   [[nodiscard]] std::uint64_t signature() const;
@@ -139,6 +152,10 @@ struct CampaignResult {
   CampaignSpec spec;
   std::vector<JobResult> jobs;  ///< indexed by job_index (= suite order)
   std::size_t workers = 1;      ///< resolved thread count actually used
+  /// A shutdown request drained the run before every job settled;
+  /// `pending` rows mark the jobs a --resume will pick up.
+  bool interrupted = false;
+  std::size_t resumed_jobs = 0;  ///< jobs recovered from the journal
   double wall_seconds = 0.0;
 
   /// Combined determinism digest: equal across runs with any `spec.jobs`.
@@ -151,9 +168,40 @@ struct CampaignResult {
   [[nodiscard]] util::Table summary_table() const;
 };
 
+/// Execution-time knobs that do NOT affect which results a finished
+/// campaign contains — journaling, resume, shutdown, fault injection.
+/// None of them enter the spec digest or the result signature.
+struct CampaignRunOptions {
+  /// Append each settled JobResult to this crash-safe journal (empty =
+  /// no journaling).  See journal.hpp for the format.
+  std::string journal_path;
+  /// Resume from `journal_path`: journaled jobs are NOT re-run, their
+  /// recovered rows merge with freshly computed ones, and the combined
+  /// signature equals an uninterrupted run's.  The journal's spec digest
+  /// must match `spec` (JournalError otherwise).
+  bool resume = false;
+  /// Graceful shutdown flag (signal handlers set it).  Not owned.
+  const std::atomic<bool>* stop = nullptr;
+  /// Test-only fault injection, forwarded to the runtime.
+  std::vector<RuntimeFault> faults;
+};
+
 /// Runs the campaign on `spec.jobs` worker threads.  Results are
 /// bit-identical (per JobResult::signature) for any thread count.
 [[nodiscard]] CampaignResult run_campaign(const CampaignSpec& spec);
+[[nodiscard]] CampaignResult run_campaign(const CampaignSpec& spec,
+                                          const CampaignRunOptions& options);
+
+/// Digest of every spec field that determines which results a campaign
+/// produces (suite, seeds, strategies, budgets, resilience knobs — NOT
+/// `name` or `jobs`).  Stamped into journal headers so --resume refuses
+/// a journal written under a different spec.
+[[nodiscard]] std::uint64_t campaign_spec_digest(const CampaignSpec& spec);
+
+/// Journal payload codec for one JobResult (exposed for tests and
+/// tooling; decode throws JournalError on malformed payloads).
+[[nodiscard]] std::string encode_job_result(const JobResult& job);
+[[nodiscard]] JobResult decode_job_result(const std::string& payload);
 
 /// Machine-readable reports next to the summary table.
 void write_json(const CampaignResult& result, std::ostream& out);

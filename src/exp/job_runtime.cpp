@@ -1,0 +1,297 @@
+#include "mcs/exp/job_runtime.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <new>
+#include <string>
+#include <thread>
+
+#include "mcs/util/hash.hpp"
+#include "mcs/util/thread_pool.hpp"
+
+namespace mcs::exp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One thread watching every armed attempt: fires CancelToken::Deadline
+/// when an attempt overruns its wall-clock budget, and CancelToken::
+/// Shutdown on every armed token once the stop flag goes up.  Armed state
+/// is keyed by token pointer; arm/disarm bracket each attempt.
+class Watchdog {
+public:
+  Watchdog(std::int64_t timeout_ms, const std::atomic<bool>* stop)
+      : timeout_ms_(timeout_ms), stop_(stop) {
+    if (timeout_ms_ > 0 || stop_ != nullptr) {
+      thread_ = std::thread([this] { loop(); });
+    }
+  }
+
+  ~Watchdog() {
+    {
+      const std::lock_guard lock(mutex_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  void arm(util::CancelToken* token) {
+    if (!thread_.joinable()) return;
+    const auto deadline = timeout_ms_ > 0
+                              ? Clock::now() + std::chrono::milliseconds(timeout_ms_)
+                              : Clock::time_point::max();
+    {
+      const std::lock_guard lock(mutex_);
+      entries_.push_back({token, deadline});
+    }
+    wake_.notify_all();
+  }
+
+  void disarm(const util::CancelToken* token) {
+    if (!thread_.joinable()) return;
+    const std::lock_guard lock(mutex_);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->token == token) {
+        entries_.erase(it);
+        return;
+      }
+    }
+  }
+
+private:
+  struct Entry {
+    util::CancelToken* token;
+    Clock::time_point deadline;
+  };
+
+  void loop() {
+    std::unique_lock lock(mutex_);
+    while (!stopping_) {
+      const auto now = Clock::now();
+      const bool stop_requested = stop_ != nullptr && stop_->load();
+      auto next_wake = Clock::time_point::max();
+      for (auto it = entries_.begin(); it != entries_.end();) {
+        if (stop_requested) {
+          it->token->cancel(util::CancelReason::Shutdown);
+          it = entries_.erase(it);
+        } else if (now >= it->deadline) {
+          it->token->cancel(util::CancelReason::Deadline);
+          it = entries_.erase(it);
+        } else {
+          next_wake = std::min(next_wake, it->deadline);
+          ++it;
+        }
+      }
+      // With a stop flag to watch, poll it a few hundred times a second
+      // even while no deadline is near.
+      if (stop_ != nullptr) {
+        next_wake = std::min(next_wake, now + std::chrono::milliseconds(5));
+      }
+      if (next_wake == Clock::time_point::max()) {
+        wake_.wait(lock);
+      } else {
+        wake_.wait_until(lock, next_wake);
+      }
+    }
+  }
+
+  const std::int64_t timeout_ms_;
+  const std::atomic<bool>* const stop_;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::vector<Entry> entries_;
+  bool stopping_ = false;
+};
+
+void inject_fault(const RuntimeOptions& options, std::size_t job_index,
+                  int attempt, const util::CancelToken& token) {
+  for (const RuntimeFault& fault : options.faults) {
+    if (fault.job_index != job_index || fault.attempt != attempt) continue;
+    const std::string where = " (job " + std::to_string(job_index) +
+                              ", attempt " + std::to_string(attempt) + ")";
+    switch (fault.kind) {
+      case RuntimeFault::Kind::ThrowTransient:
+        throw TransientError("injected transient fault" + where);
+      case RuntimeFault::Kind::ThrowPermanent:
+        throw std::runtime_error("injected permanent fault" + where);
+      case RuntimeFault::Kind::Stall:
+        // Spin until the watchdog (or shutdown) cancels the attempt.  A
+        // stall with nothing armed to break it would hang forever — fail
+        // loudly instead.
+        if (options.job_timeout_ms <= 0 && options.stop == nullptr) {
+          throw std::runtime_error("injected stall without watchdog" + where);
+        }
+        while (!token.cancelled()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        token.throw_if_cancelled();
+        return;  // unreachable
+    }
+  }
+}
+
+}  // namespace
+
+const char* to_string(RunState state) noexcept {
+  switch (state) {
+    case RunState::Done: return "done";
+    case RunState::Timeout: return "timeout";
+    case RunState::Failed: return "failed";
+    case RunState::Shed: return "shed";
+    case RunState::Pending: return "pending";
+  }
+  return "unknown";
+}
+
+std::int64_t backoff_delay_ms(const RuntimeOptions& options,
+                              std::size_t job_index, int attempt) {
+  if (options.backoff_base_ms <= 0) return 0;
+  std::int64_t window = options.backoff_base_ms;
+  for (int i = 1; i < attempt && window < options.backoff_cap_ms; ++i) {
+    window *= 2;
+  }
+  window = std::min(window, std::max<std::int64_t>(options.backoff_cap_ms, 1));
+  util::Fnv1a h;
+  h.update(options.retry_seed);
+  h.update(static_cast<std::uint64_t>(job_index));
+  h.update(static_cast<std::uint64_t>(attempt));
+  return static_cast<std::int64_t>(h.digest() % static_cast<std::uint64_t>(window));
+}
+
+std::vector<JobDisposition> run_jobs(
+    const RuntimeOptions& options, std::size_t count,
+    const std::function<void(std::size_t, const util::CancelToken&)>& body,
+    const std::vector<char>* already_done,
+    const std::function<void(std::size_t, const JobDisposition&)>& on_settled,
+    RuntimeReport* report) {
+  std::vector<JobDisposition> dispositions(count);
+  // One token per job: constructed in place (CancelToken is immovable).
+  std::vector<util::CancelToken> tokens(count);
+  const std::size_t workers =
+      std::min(options.workers == 0 ? 1 : options.workers,
+               std::max<std::size_t>(1, count));
+  std::atomic<bool> interrupted{false};
+
+  {
+    Watchdog watchdog(options.job_timeout_ms, options.stop);
+    util::ThreadPool pool(workers);
+    pool.parallel_for(count, [&](std::size_t i) {
+      JobDisposition& disp = dispositions[i];
+      util::CancelToken& token = tokens[i];
+
+      if (already_done != nullptr && (*already_done)[i]) {
+        // Recovered from the journal: counts as done, nothing re-runs and
+        // nothing is re-journaled.
+        disp.state = RunState::Done;
+        disp.attempts = 0;
+        return;
+      }
+      if (options.queue_limit > 0 && i >= options.queue_limit) {
+        // Admission control is an index predicate, not a load measurement,
+        // so shed rows are identical for any worker count.
+        disp.state = RunState::Shed;
+        disp.attempts = 0;
+        disp.error = "shed: admission queue limit " +
+                     std::to_string(options.queue_limit) + " exceeded";
+        if (on_settled) on_settled(i, disp);
+        return;
+      }
+      if (options.stop != nullptr && options.stop->load()) {
+        interrupted.store(true, std::memory_order_relaxed);
+        return;  // stays Pending: the resume re-runs it
+      }
+
+      std::string transient_reason;
+      for (int attempt = 1;; ++attempt) {
+        if (attempt > 1) {
+          const auto delay = backoff_delay_ms(options, i, attempt - 1);
+          if (delay > 0) std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+          if (options.stop != nullptr && options.stop->load()) {
+            interrupted.store(true, std::memory_order_relaxed);
+            disp.attempts = attempt - 1;
+            return;  // stays Pending
+          }
+        }
+        token.reset();
+        watchdog.arm(&token);
+        try {
+          inject_fault(options, i, attempt, token);
+          body(i, token);
+          watchdog.disarm(&token);
+          disp.state = RunState::Done;
+          disp.attempts = attempt;
+          // Keep the overcome transient reason so "done after retry" rows
+          // carry their retry reason into the report.
+          disp.error = transient_reason;
+          break;
+        } catch (const util::CancelledError& error) {
+          watchdog.disarm(&token);
+          if (error.reason() == util::CancelReason::Shutdown) {
+            interrupted.store(true, std::memory_order_relaxed);
+            disp.attempts = attempt;
+            return;  // stays Pending: result discarded, resume re-runs it
+          }
+          // Watchdog deadline: deterministic terminal timeout, no retry.
+          disp.state = RunState::Timeout;
+          disp.attempts = attempt;
+          disp.error = "timeout: watchdog deadline " +
+                       std::to_string(options.job_timeout_ms) + " ms exceeded";
+          break;
+        } catch (const std::bad_alloc&) {
+          watchdog.disarm(&token);
+          transient_reason = "transient: allocation failure (std::bad_alloc)";
+          if (attempt <= options.max_retries) continue;
+          disp.state = RunState::Failed;
+          disp.attempts = attempt;
+          disp.error = transient_reason + " (retries exhausted after " +
+                       std::to_string(attempt) + " attempt(s))";
+          break;
+        } catch (const TransientError& error) {
+          watchdog.disarm(&token);
+          transient_reason = error.what();
+          if (attempt <= options.max_retries) continue;
+          disp.state = RunState::Failed;
+          disp.attempts = attempt;
+          disp.error = transient_reason + " (retries exhausted after " +
+                       std::to_string(attempt) + " attempt(s))";
+          break;
+        } catch (const std::exception& error) {
+          watchdog.disarm(&token);
+          disp.state = RunState::Failed;
+          disp.attempts = attempt;
+          disp.error = error.what();
+          break;
+        }
+      }
+      if (on_settled) on_settled(i, disp);
+    });
+  }
+
+  if (report != nullptr) {
+    *report = RuntimeReport{};
+    report->jobs = count;
+    report->workers = workers;
+    report->interrupted = interrupted.load() ||
+                          (options.stop != nullptr && options.stop->load());
+    for (const JobDisposition& disp : dispositions) {
+      switch (disp.state) {
+        case RunState::Done: ++report->done; break;
+        case RunState::Timeout: ++report->timeouts; break;
+        case RunState::Failed: ++report->failed; break;
+        case RunState::Shed: ++report->shed; break;
+        case RunState::Pending: ++report->pending; break;
+      }
+      if (disp.attempts > 1) {
+        report->retries += static_cast<std::size_t>(disp.attempts - 1);
+      }
+    }
+  }
+  return dispositions;
+}
+
+}  // namespace mcs::exp

@@ -85,7 +85,8 @@ constexpr const char* kSpecContext = "validation spec";
 /// the one worker thread executing this call.
 [[nodiscard]] ValidationJob run_job(const ValidationSpec& spec,
                                     const gen::SuitePoint& point,
-                                    std::size_t job_index) {
+                                    std::size_t job_index,
+                                    const util::CancelToken& cancel) {
   const auto job_start = std::chrono::steady_clock::now();
   ValidationJob job;
   job.job_index = job_index;
@@ -100,6 +101,7 @@ constexpr const char* kSpecContext = "validation spec";
   const core::MoveContext ctx(sys.app, sys.platform, spec.mcs_options());
   core::OptimizeScheduleOptions os_options;
   os_options.hopa.max_iterations = spec.budgets.hopa_iterations;
+  os_options.cancel = &cancel;
   core::OptimizeResourcesOptions or_options;
   or_options.schedule = os_options;
   or_options.max_seed_starts = spec.budgets.or_max_seed_starts;
@@ -177,6 +179,7 @@ constexpr const char* kSpecContext = "validation spec";
   // Degradation sweep.  Under faults the bounds need not hold; we record
   // what actually broke (and how badly) per scenario.
   for (std::size_t si = 0; si < spec.scenarios.size(); ++si) {
+    cancel.throw_if_cancelled();
     sim::FaultSpec scenario = spec.scenarios[si];
     scenario.seed =
         scenario_seed(scenario, spec.campaign_seed, job_index, si);
@@ -193,16 +196,25 @@ constexpr const char* kSpecContext = "validation spec";
   return job;
 }
 
-[[nodiscard]] ValidationJob failed_job(const gen::SuitePoint& point,
-                                       std::size_t job_index,
-                                       std::string error) {
+/// Report row for a job the runtime settled without a completed run_job
+/// (watchdog timeout, failure, shed, pending).
+[[nodiscard]] ValidationJob degraded_job(const gen::SuitePoint& point,
+                                         std::size_t job_index,
+                                         const JobDisposition& disposition) {
   ValidationJob job;
   job.job_index = job_index;
   job.dimension = point.dimension;
   job.replica = point.replica;
   job.system_seed = point.params.seed;
-  job.status = JobStatus::Failed;
-  job.error = std::move(error);
+  switch (disposition.state) {
+    case RunState::Timeout: job.status = JobStatus::Timeout; break;
+    case RunState::Failed: job.status = JobStatus::Failed; break;
+    case RunState::Shed: job.status = JobStatus::Shed; break;
+    case RunState::Pending: job.status = JobStatus::Pending; break;
+    case RunState::Done: break;  // not reached: Done keeps run_job's row
+  }
+  job.attempts = disposition.attempts;
+  job.error = disposition.error;
   return job;
 }
 
@@ -219,6 +231,7 @@ void update_signature(util::Fnv1a& h, const ValidationJob& job) {
   h.update(static_cast<std::uint64_t>(job.processes));
   h.update(static_cast<std::uint64_t>(job.messages));
   h.update(static_cast<std::uint64_t>(job.status));
+  h.update(static_cast<std::uint64_t>(job.attempts));
   update_signature(h, job.error);
   h.update(static_cast<std::uint64_t>(job.converged ? 1 : 0));
   h.update(static_cast<std::uint64_t>(job.schedulable ? 1 : 0));
@@ -291,6 +304,8 @@ const char* to_string(JobStatus status) {
     case JobStatus::Ok: return "ok";
     case JobStatus::Timeout: return "timeout";
     case JobStatus::Failed: return "failed";
+    case JobStatus::Shed: return "shed";
+    case JobStatus::Pending: return "pending";
   }
   return "?";
 }
@@ -344,6 +359,12 @@ ValidationSpec parse_validation_spec(std::istream& in) {
       spec.max_sim_events = static_cast<std::int64_t>(util::kv_u64(e, kSpecContext));
     } else if (e.key == "jobs") {
       spec.jobs = static_cast<std::size_t>(util::kv_u64(e, kSpecContext));
+    } else if (e.key == "job_timeout_ms") {
+      spec.job_timeout_ms = static_cast<std::int64_t>(util::kv_u64(e, kSpecContext));
+    } else if (e.key == "max_retries") {
+      spec.max_retries = util::kv_int(e, kSpecContext);
+    } else if (e.key == "queue_limit") {
+      spec.queue_limit = static_cast<std::size_t>(util::kv_u64(e, kSpecContext));
     } else if (e.key == "sa_max_evaluations") {
       spec.budgets.sa_max_evaluations = util::kv_int(e, kSpecContext);
     } else if (e.key == "hopa_iterations") {
@@ -396,6 +417,11 @@ std::size_t ValidationResult::count(JobStatus status) const {
 }
 
 ValidationResult run_validation(const ValidationSpec& spec) {
+  return run_validation(spec, ValidationRunOptions{});
+}
+
+ValidationResult run_validation(const ValidationSpec& spec,
+                                const ValidationRunOptions& options) {
   const auto start = std::chrono::steady_clock::now();
   const auto suite =
       gen::suite_by_name(spec.suite, spec.seeds_per_dim, spec.suite_base_seed);
@@ -404,37 +430,58 @@ ValidationResult run_validation(const ValidationSpec& spec) {
   result.spec = spec;
   result.jobs.resize(suite.size());
 
-  const std::size_t requested =
-      spec.jobs == 0 ? util::ThreadPool::default_workers() : spec.jobs;
-  util::ThreadPool pool(std::min(requested, std::max<std::size_t>(1, suite.size())));
-  result.workers = pool.size();
-  // Graceful degradation: a throwing job becomes a `failed` row instead of
-  // aborting the campaign (same contract as run_campaign).
-  pool.parallel_for(suite.size(), [&](std::size_t i) {
-    try {
-      result.jobs[i] = run_job(spec, suite[i], i);
-    } catch (const std::exception& e) {
-      result.jobs[i] = failed_job(suite[i], i, e.what());
-    } catch (...) {
-      result.jobs[i] = failed_job(suite[i], i, "unknown exception");
-    }
-  });
+  RuntimeOptions runtime;
+  runtime.workers = spec.jobs == 0 ? util::ThreadPool::default_workers() : spec.jobs;
+  runtime.job_timeout_ms = spec.job_timeout_ms;
+  runtime.max_retries = spec.max_retries;
+  runtime.queue_limit = spec.queue_limit;
+  runtime.retry_seed = spec.campaign_seed;
+  runtime.stop = options.stop;
+  runtime.faults = options.faults;
 
+  // Graceful degradation via the job runtime: a throwing job becomes a
+  // `failed` row, a watchdog overrun a `timeout` row, admission control a
+  // `shed` row — never an abort (same contract as run_campaign).
+  RuntimeReport report;
+  const std::vector<JobDisposition> dispositions = run_jobs(
+      runtime, suite.size(),
+      [&](std::size_t i, const util::CancelToken& cancel) {
+        result.jobs[i] = run_job(spec, suite[i], i, cancel);
+      },
+      nullptr,
+      [&](std::size_t i, const JobDisposition& disposition) {
+        if (disposition.state == RunState::Done) {
+          result.jobs[i].attempts = disposition.attempts;
+          if (!disposition.error.empty()) result.jobs[i].error = disposition.error;
+        } else {
+          result.jobs[i] = degraded_job(suite[i], i, disposition);
+        }
+      },
+      &report);
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    if (dispositions[i].state != RunState::Pending) continue;
+    JobDisposition pending = dispositions[i];
+    pending.error = "pending: shutdown requested before the job finished";
+    result.jobs[i] = degraded_job(suite[i], i, pending);
+  }
+
+  result.workers = report.workers;
+  result.interrupted = report.interrupted;
   result.wall_seconds = seconds_since(start);
   return result;
 }
 
 util::Table ValidationResult::summary_table() const {
   std::vector<std::string> header = {"dimension", "instances", "ok",
-                                     "timeout",   "failed",    "checked",
-                                     "violations"};
+                                     "timeout",   "failed",    "shed",
+                                     "checked",   "violations"};
   for (const sim::FaultSpec& scenario : spec.scenarios) {
     header.push_back(scenario.name + " miss");
     header.push_back(scenario.name + " lost");
   }
 
   struct Cell {
-    std::int64_t instances = 0, ok = 0, timeout = 0, failed = 0;
+    std::int64_t instances = 0, ok = 0, timeout = 0, failed = 0, shed = 0;
     std::int64_t checked = 0, violations = 0;
     std::vector<std::int64_t> misses, lost;
   };
@@ -448,6 +495,8 @@ util::Table ValidationResult::summary_table() const {
       case JobStatus::Ok: ++cell.ok; break;
       case JobStatus::Timeout: ++cell.timeout; break;
       case JobStatus::Failed: ++cell.failed; break;
+      case JobStatus::Shed: ++cell.shed; break;
+      case JobStatus::Pending: break;  // instances - (ok+timeout+failed+shed)
     }
     if (job.bounds_checked) ++cell.checked;
     cell.violations += static_cast<std::int64_t>(job.violations.size());
@@ -467,6 +516,7 @@ util::Table ValidationResult::summary_table() const {
         util::Table::fmt(cell.ok),
         util::Table::fmt(cell.timeout),
         util::Table::fmt(cell.failed),
+        util::Table::fmt(cell.shed),
         util::Table::fmt(cell.checked),
         util::Table::fmt(cell.violations)};
     for (std::size_t si = 0; si < spec.scenarios.size(); ++si) {
@@ -490,6 +540,7 @@ void write_json(const ValidationResult& result, std::ostream& out) {
     out << (i ? ", " : "") << "\"" << json_escape(spec.scenarios[i].name) << "\"";
   }
   out << "],\n  \"workers\": " << result.workers << ",\n"
+      << "  \"interrupted\": " << (result.interrupted ? "true" : "false") << ",\n"
       << "  \"wall_seconds\": " << result.wall_seconds << ",\n";
   char sig[32];
   std::snprintf(sig, sizeof sig, "%016llx",
@@ -498,7 +549,9 @@ void write_json(const ValidationResult& result, std::ostream& out) {
       << "  \"totals\": {\"jobs\": " << result.jobs.size() << ", \"ok\": "
       << result.count(JobStatus::Ok) << ", \"timeout\": "
       << result.count(JobStatus::Timeout) << ", \"failed\": "
-      << result.count(JobStatus::Failed) << ", \"bound_violations\": "
+      << result.count(JobStatus::Failed) << ", \"shed\": "
+      << result.count(JobStatus::Shed) << ", \"pending\": "
+      << result.count(JobStatus::Pending) << ", \"bound_violations\": "
       << result.total_violations() << "},\n  \"jobs\": [\n";
 
   for (std::size_t ji = 0; ji < result.jobs.size(); ++ji) {
@@ -507,7 +560,8 @@ void write_json(const ValidationResult& result, std::ostream& out) {
         << job.dimension << ", \"replica\": " << job.replica
         << ", \"system_seed\": " << job.system_seed << ", \"processes\": "
         << job.processes << ", \"messages\": " << job.messages
-        << ", \"status\": \"" << to_string(job.status) << "\", \"error\": \""
+        << ", \"status\": \"" << to_string(job.status) << "\", \"attempts\": "
+        << job.attempts << ", \"error\": \""
         << json_escape(job.error) << "\", \"converged\": "
         << (job.converged ? "true" : "false") << ", \"schedulable\": "
         << (job.schedulable ? "true" : "false") << ", \"checked\": "
@@ -541,7 +595,8 @@ void write_json(const ValidationResult& result, std::ostream& out) {
 
 void write_csv(const ValidationResult& result, std::ostream& out) {
   out << "validation,job,dimension,replica,system_seed,processes,messages,"
-         "status,error,converged,schedulable,checked,skip_reason,violations,"
+         "status,attempts,error,converged,schedulable,checked,skip_reason,"
+         "violations,"
          "scenario,sim_status,deadline_misses,messages_lost,config_violations,"
          "faults_injected,max_out_can,max_out_ttp,queue_over_bound,"
          "worst_lateness,seconds\n";
@@ -551,6 +606,7 @@ void write_csv(const ValidationResult& result, std::ostream& out) {
       return os << name << ',' << job.job_index << ',' << job.dimension << ','
                 << job.replica << ',' << job.system_seed << ',' << job.processes
                 << ',' << job.messages << ',' << to_string(job.status) << ','
+                << job.attempts << ','
                 << csv_escape(job.error) << ',' << (job.converged ? 1 : 0)
                 << ',' << (job.schedulable ? 1 : 0) << ','
                 << (job.bounds_checked ? 1 : 0) << ','

@@ -54,6 +54,10 @@ struct ValidationSpec {
   std::int64_t max_sim_events = 2'000'000;
   CampaignBudgets budgets;
   std::size_t jobs = 1;  ///< worker threads (0 = one per hardware core)
+  /// Resilience knobs, forwarded to the job runtime (job_runtime.hpp).
+  std::int64_t job_timeout_ms = 0;  ///< per-attempt watchdog (0 = off)
+  int max_retries = 0;              ///< transient-failure retries per job
+  std::size_t queue_limit = 0;      ///< admission control (0 = unlimited)
 
   [[nodiscard]] core::McsOptions mcs_options() const;
 };
@@ -65,11 +69,16 @@ struct ValidationSpec {
 [[nodiscard]] ValidationSpec parse_validation_spec(std::istream& in);
 [[nodiscard]] ValidationSpec parse_validation_spec_file(const std::string& path);
 
-/// How one job ended.  Failed and Timeout are report rows, never aborts.
+/// How one job ended.  Everything except Ok is a report row, never an
+/// abort.  Timeout covers both the deterministic event budget and the
+/// runtime's wall-clock watchdog (the error/skip_reason text tells them
+/// apart).
 enum class JobStatus {
   Ok,       ///< synthesis + simulations ran to the end
-  Timeout,  ///< a simulation exhausted the per-job event budget
+  Timeout,  ///< event budget exhausted, or the watchdog deadline fired
   Failed,   ///< an exception escaped the job (error holds what())
+  Shed,     ///< refused by admission control (queue_limit), never ran
+  Pending,  ///< never finished: shutdown drained the run first
 };
 [[nodiscard]] const char* to_string(JobStatus status);
 
@@ -100,7 +109,11 @@ struct ValidationJob {
   std::size_t processes = 0;
   std::size_t messages = 0;
   JobStatus status = JobStatus::Ok;
-  std::string error;  ///< Failed only: the captured exception message
+  /// Attempts the runtime started (> 1 means transient retries happened).
+  int attempts = 1;
+  /// Failure/timeout/shed reason; for an Ok row after retries, the
+  /// transient error that was overcome.
+  std::string error;
   bool converged = false;
   bool schedulable = false;
   /// True when the fault-free bound assertion actually ran (it is skipped
@@ -122,6 +135,7 @@ struct ValidationResult {
   ValidationSpec spec;
   std::vector<ValidationJob> jobs;  ///< indexed by job_index (= suite order)
   std::size_t workers = 1;
+  bool interrupted = false;  ///< shutdown drained the run early
   double wall_seconds = 0.0;
 
   [[nodiscard]] std::uint64_t signature() const;
@@ -133,9 +147,18 @@ struct ValidationResult {
   [[nodiscard]] util::Table summary_table() const;
 };
 
+/// Execution-time knobs (shutdown, fault injection); none affect a
+/// finished run's deterministic fields.
+struct ValidationRunOptions {
+  const std::atomic<bool>* stop = nullptr;  ///< graceful shutdown flag
+  std::vector<RuntimeFault> faults;         ///< test-only fault injection
+};
+
 /// Runs the validation campaign on `spec.jobs` worker threads.  All
 /// deterministic fields are bit-identical for any thread count.
 [[nodiscard]] ValidationResult run_validation(const ValidationSpec& spec);
+[[nodiscard]] ValidationResult run_validation(const ValidationSpec& spec,
+                                              const ValidationRunOptions& options);
 
 void write_json(const ValidationResult& result, std::ostream& out);
 void write_csv(const ValidationResult& result, std::ostream& out);

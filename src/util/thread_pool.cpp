@@ -44,16 +44,36 @@ void ThreadPool::wait_idle() {
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
-  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  // Shared across shards: the work cursor plus the lowest-index failure.
+  // Each body invocation is caught individually so a throw never abandons
+  // the unclaimed remainder of a shard — all indices run, and the error
+  // reported is index-deterministic, not schedule-dependent.
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::mutex mutex;
+    std::size_t error_index = SIZE_MAX;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<State>();
   const std::size_t shards = std::min(count, size());
   for (std::size_t s = 0; s < shards; ++s) {
-    submit([next, count, &body] {
-      for (std::size_t i = next->fetch_add(1); i < count; i = next->fetch_add(1)) {
-        body(i);
+    submit([state, count, &body] {
+      for (std::size_t i = state->next.fetch_add(1); i < count;
+           i = state->next.fetch_add(1)) {
+        try {
+          body(i);
+        } catch (...) {
+          const std::lock_guard lock(state->mutex);
+          if (i < state->error_index) {
+            state->error_index = i;
+            state->error = std::current_exception();
+          }
+        }
       }
     });
   }
   wait_idle();
+  if (state->error) std::rethrow_exception(state->error);
 }
 
 std::size_t ThreadPool::default_workers() {

@@ -9,11 +9,11 @@
 //     drained AND every worker is idle, then rethrows the first exception
 //     any task raised (subsequent exceptions are swallowed — one failure
 //     already fails the run),
-//   * parallel_for(count, body) runs body(0..count-1), each index at most
-//     once and — when no body throws — exactly once, work distributed
-//     dynamically via an atomic cursor.  A throwing body abandons the
-//     rest of its shard, so after a propagated exception some indices may
-//     never have run; treat the whole parallel_for as failed.
+//   * parallel_for(count, body) runs body(0..count-1) exactly once each —
+//     even when some invocations throw — work distributed dynamically via
+//     an atomic cursor.  If any invocations threw, the exception from the
+//     LOWEST index is rethrown (not the temporally first), so concurrent
+//     failures surface deterministically regardless of worker scheduling.
 //
 // Determinism contract: the pool makes NO ordering promises — tasks run in
 // whatever order workers pick them up.  Callers that need reproducible
@@ -59,12 +59,13 @@ public:
   /// exception (all other queued tasks still ran).
   void wait_idle();
 
-  /// Runs body(i) for i in [0, count), each at most once — exactly once
-  /// when no invocation throws — sharded dynamically across the workers;
-  /// equivalent to a plain loop when the pool has one thread.  Blocks
-  /// until done; rethrows the first exception thrown by any invocation,
-  /// after which the run must be treated as failed wholesale (a throwing
-  /// body abandons the unclaimed remainder of its shard).
+  /// Runs body(i) for i in [0, count) exactly once each, sharded
+  /// dynamically across the workers; equivalent to a plain loop when the
+  /// pool has one thread.  Blocks until done.  A throwing invocation does
+  /// NOT abandon its shard: every index still runs, and afterwards the
+  /// exception thrown at the lowest index is rethrown — the same failure
+  /// a sequential loop that collected all errors would report, whatever
+  /// the worker interleaving.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
 
   /// Reasonable default worker count: hardware_concurrency, at least 1.

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace mcs::util {
@@ -68,6 +69,43 @@ TEST(ThreadPool, ParallelForPropagatesBodyException) {
                                    if (i == 13) throw std::invalid_argument("13");
                                  }),
                std::invalid_argument);
+}
+
+TEST(ThreadPool, ParallelForPropagatesLowestIndexException) {
+  // Many bodies throw concurrently; whatever the worker interleaving, the
+  // exception that escapes must be the one from the lowest index.  Repeat
+  // to give racy schedules a chance to disagree.
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(4);
+    try {
+      pool.parallel_for(256, [](std::size_t i) {
+        if (i % 3 == 1) throw std::runtime_error(std::to_string(i));
+      });
+      FAIL() << "parallel_for must rethrow";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "1") << "round " << round;
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForRunsAllIndicesDespiteThrows) {
+  // A throwing body must not abandon its shard: every index still runs.
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 500;
+  std::vector<std::atomic<int>> hits(kCount);
+  EXPECT_THROW(pool.parallel_for(kCount,
+                                 [&](std::size_t i) {
+                                   ++hits[i];
+                                   if (i % 7 == 0) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  // And the pool stays usable afterwards.
+  std::atomic<int> ran{0};
+  pool.parallel_for(10, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 10);
 }
 
 TEST(ThreadPool, PoolIsReusableAcrossParallelForCalls) {

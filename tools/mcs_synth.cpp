@@ -25,6 +25,8 @@
 // src/exp/campaign.hpp and DESIGN.md §4):
 //
 //   mcs_synth --campaign <spec> [--jobs N] [--report-json F] [--report-csv F]
+//             [--journal F | --resume F] [--job-timeout-ms N]
+//             [--max-retries N] [--queue-limit N]
 //
 //   --campaign <spec>       run the campaign described by the key=value
 //                           spec file (examples/tiny.campaign is a sample)
@@ -32,6 +34,20 @@
 //                           per hardware core)
 //   --report-json <file>    write the full per-job JSON report
 //   --report-csv <file>     write the per-(job, strategy) CSV report
+//   --journal <file>        append every settled job to a crash-safe
+//                           checkpoint journal (src/exp/journal.hpp)
+//   --resume <file>         resume from a journal written by --journal:
+//                           recovered jobs are not re-run and the merged
+//                           report signature equals an uninterrupted run's
+//   --job-timeout-ms N      per-attempt watchdog deadline (overrides the
+//                           spec; 0 = off): overruns become `timeout` rows
+//   --max-retries N         retry transient job failures up to N times
+//                           (deterministic FNV-derived backoff)
+//   --queue-limit N         shed jobs with index >= N as `shed` rows
+//
+// SIGINT/SIGTERM drain the run gracefully: in-flight jobs are cancelled,
+// settled rows are journaled, a partial report is written, and the exit
+// code is 4 (resume with --resume).  A second signal kills immediately.
 //
 // Validation mode (campaign-scale soundness fuzzing + fault sweeps, see
 // src/exp/validation.hpp and DESIGN.md §5):
@@ -50,6 +66,10 @@
 // grammar and examples/paper_example.mcs for a sample), synthesizes a
 // configuration and prints the schedulability verdict, per-graph response
 // times and worst-case buffer needs.
+#include <signal.h>
+
+#include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -60,6 +80,7 @@
 #include "mcs/core/optimize_resources.hpp"
 #include "mcs/core/straightforward.hpp"
 #include "mcs/exp/campaign.hpp"
+#include "mcs/exp/journal.hpp"
 #include "mcs/exp/validation.hpp"
 #include "mcs/gen/textio.hpp"
 #include "mcs/model/validation.hpp"
@@ -70,7 +91,25 @@ using namespace mcs;
 
 namespace {
 
-constexpr const char* kVersion = "0.6.0";
+constexpr const char* kVersion = "0.7.0";
+
+/// Graceful-shutdown flag the signal handler raises; the job runtime
+/// polls it and drains (std::atomic<bool> is lock-free on every target we
+/// build for, so the store below is async-signal-safe).
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_shutdown_signal(int) { g_stop.store(true); }
+
+void install_signal_handlers() {
+  struct sigaction action{};
+  action.sa_handler = handle_shutdown_signal;
+  sigemptyset(&action.sa_mask);
+  // One signal drains gracefully; a second one falls back to the default
+  // disposition and kills the process (the journal survives either way).
+  action.sa_flags = SA_RESETHAND;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
 
 struct Options {
   std::string path;
@@ -87,6 +126,11 @@ struct Options {
   std::optional<std::size_t> jobs;
   std::string report_json;
   std::string report_csv;
+  std::string journal;  ///< campaign checkpoint journal to write
+  std::string resume;   ///< campaign journal to resume from (implies journal)
+  std::optional<std::int64_t> job_timeout_ms;
+  std::optional<int> max_retries;
+  std::optional<std::size_t> queue_limit;
 };
 
 void usage() {
@@ -96,12 +140,41 @@ void usage() {
                "[--faults <spec>] [--trace] [--dump-config] [--stats]\n"
                "       mcs_synth --campaign <spec> [--jobs N] "
                "[--report-json <file>] [--report-csv <file>]\n"
+               "                 [--journal <file> | --resume <file>] "
+               "[--job-timeout-ms N] [--max-retries N] [--queue-limit N]\n"
                "       mcs_synth --validate <spec> [--faults <spec>] "
-               "[--jobs N] [--report-json <file>] [--report-csv <file>]\n"
-               "       mcs_synth --version\n");
+               "[--jobs N] [--job-timeout-ms N] [--max-retries N]\n"
+               "                 [--queue-limit N] [--report-json <file>] "
+               "[--report-csv <file>]\n"
+               "       mcs_synth --version\n"
+               "exit codes: 0 ok/schedulable, 1 unschedulable or bound "
+               "violations or runtime error, 2 usage,\n"
+               "            3 invalid flag value, 4 interrupted (partial "
+               "report written; resumable), 5 journal mismatch/corruption\n");
 }
 
-bool parse_args(int argc, char** argv, Options& options) {
+/// Validates an unsigned integer flag value; prints a one-line error and
+/// returns false on garbage, negatives, overflow or out-of-range counts.
+bool parse_count_flag(const char* flag, const char* text,
+                      unsigned long long max, unsigned long long& out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || text[0] == '-' || errno == ERANGE ||
+      value > max) {
+    std::fprintf(stderr, "error: %s expects a count in 0..%llu, got '%s'\n",
+                 flag, max, text);
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+/// Returns 0 when parsing succeeded, or the process exit code to use:
+/// 2 for a usage error (unknown flag / wrong mode combination; caller
+/// prints usage), 3 for a malformed flag value (one-line error already
+/// printed, no usage spam).
+int parse_args(int argc, char** argv, Options& options) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--version") {
@@ -114,38 +187,61 @@ bool parse_args(int argc, char** argv, Options& options) {
                       : core::kernel_name(core::AnalysisKernel::Packed));
       std::exit(0);
     } else if (arg == "--campaign") {
-      if (++i >= argc) return false;
+      if (++i >= argc) return 2;
       options.campaign = argv[i];
     } else if (arg == "--validate") {
-      if (++i >= argc) return false;
+      if (++i >= argc) return 2;
       options.validate = argv[i];
     } else if (arg == "--faults") {
-      if (++i >= argc) return false;
+      if (++i >= argc) return 2;
       options.faults = argv[i];
     } else if (arg == "--jobs") {
-      if (++i >= argc) return false;
-      char* end = nullptr;
-      const unsigned long jobs = std::strtoul(argv[i], &end, 10);
+      if (++i >= argc) return 2;
       // Reject garbage, negatives and absurd counts instead of silently
       // wrapping ("-1") or defaulting to all cores ("abc" -> 0).
-      if (end == argv[i] || *end != '\0' || argv[i][0] == '-' || jobs > 4096) {
-        std::fprintf(stderr, "error: --jobs expects a count in 0..4096, got '%s'\n",
-                     argv[i]);
-        return false;
-      }
+      unsigned long long jobs = 0;
+      if (!parse_count_flag("--jobs", argv[i], 4096, jobs)) return 3;
       options.jobs = static_cast<std::size_t>(jobs);
+    } else if (arg == "--journal") {
+      if (++i >= argc) return 2;
+      options.journal = argv[i];
+    } else if (arg == "--resume") {
+      if (++i >= argc) return 2;
+      options.resume = argv[i];
+    } else if (arg == "--job-timeout-ms") {
+      if (++i >= argc) return 2;
+      unsigned long long ms = 0;
+      // A week-long deadline bound keeps the watchdog arithmetic safe.
+      if (!parse_count_flag("--job-timeout-ms", argv[i], 604'800'000ULL, ms)) {
+        return 3;
+      }
+      options.job_timeout_ms = static_cast<std::int64_t>(ms);
+    } else if (arg == "--max-retries") {
+      if (++i >= argc) return 2;
+      unsigned long long retries = 0;
+      if (!parse_count_flag("--max-retries", argv[i], 100, retries)) return 3;
+      options.max_retries = static_cast<int>(retries);
+    } else if (arg == "--queue-limit") {
+      if (++i >= argc) return 2;
+      unsigned long long limit = 0;
+      if (!parse_count_flag("--queue-limit", argv[i], 1'000'000'000ULL, limit)) {
+        return 3;
+      }
+      options.queue_limit = static_cast<std::size_t>(limit);
     } else if (arg == "--report-json") {
-      if (++i >= argc) return false;
+      if (++i >= argc) return 2;
       options.report_json = argv[i];
     } else if (arg == "--report-csv") {
-      if (++i >= argc) return false;
+      if (++i >= argc) return 2;
       options.report_csv = argv[i];
     } else if (arg == "--strategy") {
-      if (++i >= argc) return false;
+      if (++i >= argc) return 2;
       options.strategy = argv[i];
       if (options.strategy != "sf" && options.strategy != "os" &&
           options.strategy != "or") {
-        return false;
+        std::fprintf(stderr, "error: --strategy expects sf, os or or, got '%s'\n",
+                     argv[i]);
+        return 3;
       }
     } else if (arg == "--conservative") {
       options.conservative = true;
@@ -161,30 +257,55 @@ bool parse_args(int argc, char** argv, Options& options) {
     } else if (arg == "--stats") {
       options.stats = true;
     } else if (!arg.empty() && arg[0] == '-') {
-      return false;
+      return 2;
     } else if (options.path.empty()) {
       options.path = arg;
     } else {
-      return false;
+      return 2;
     }
   }
   // Exactly one mode: a system file, a campaign spec or a validation spec.
   const int modes = (!options.path.empty() ? 1 : 0) +
                     (!options.campaign.empty() ? 1 : 0) +
                     (!options.validate.empty() ? 1 : 0);
-  return modes == 1;
+  if (modes != 1) return 2;
+  if (!options.journal.empty() && !options.resume.empty()) {
+    std::fprintf(stderr,
+                 "error: --journal and --resume are mutually exclusive "
+                 "(--resume keeps appending to the journal it resumes)\n");
+    return 3;
+  }
+  if ((!options.journal.empty() || !options.resume.empty()) &&
+      options.campaign.empty()) {
+    std::fprintf(stderr,
+                 "error: --journal/--resume require --campaign mode\n");
+    return 3;
+  }
+  return 0;
 }
 
 int run_campaign_mode(const Options& options) {
   exp::CampaignSpec spec = exp::parse_campaign_spec_file(options.campaign);
   if (options.jobs) spec.jobs = *options.jobs;
+  if (options.job_timeout_ms) spec.job_timeout_ms = *options.job_timeout_ms;
+  if (options.max_retries) spec.max_retries = *options.max_retries;
+  if (options.queue_limit) spec.queue_limit = *options.queue_limit;
 
-  const exp::CampaignResult result = exp::run_campaign(spec);
+  exp::CampaignRunOptions run;
+  run.journal_path = options.resume.empty() ? options.journal : options.resume;
+  run.resume = !options.resume.empty();
+  run.stop = &g_stop;
+
+  const exp::CampaignResult result = exp::run_campaign(spec, run);
 
   std::printf("campaign %s: suite %s, %zu jobs on %zu worker(s), %.2f s\n\n",
               spec.name.c_str(), spec.suite.c_str(), result.jobs.size(),
               result.workers, result.wall_seconds);
   result.summary_table().print(std::cout);
+  if (result.resumed_jobs > 0) {
+    std::printf("\nresumed %zu journaled job(s) from %s\n", result.resumed_jobs,
+                run.journal_path.c_str());
+  }
   std::printf("\nsignature: %016llx (thread-count invariant)\n",
               static_cast<unsigned long long>(result.signature()));
 
@@ -206,6 +327,13 @@ int run_campaign_mode(const Options& options) {
     exp::write_csv(result, out);
     std::printf("wrote %s\n", options.report_csv.c_str());
   }
+  if (result.interrupted) {
+    std::printf("interrupted: drained in-flight jobs, %s; "
+                "re-run with --resume to finish\n",
+                run.journal_path.empty() ? "partial report only (no --journal)"
+                                         : "journal is consistent");
+    return 4;
+  }
   return 0;
 }
 
@@ -215,8 +343,13 @@ int run_validation_mode(const Options& options) {
     spec.scenarios.push_back(sim::parse_fault_spec_file(options.faults));
   }
   if (options.jobs) spec.jobs = *options.jobs;
+  if (options.job_timeout_ms) spec.job_timeout_ms = *options.job_timeout_ms;
+  if (options.max_retries) spec.max_retries = *options.max_retries;
+  if (options.queue_limit) spec.queue_limit = *options.queue_limit;
 
-  const exp::ValidationResult result = exp::run_validation(spec);
+  exp::ValidationRunOptions run;
+  run.stop = &g_stop;
+  const exp::ValidationResult result = exp::run_validation(spec, run);
 
   std::printf(
       "validation %s: suite %s, strategy %s, %zu jobs on %zu worker(s), "
@@ -264,6 +397,10 @@ int run_validation_mode(const Options& options) {
     }
     exp::write_csv(result, out);
     std::printf("wrote %s\n", options.report_csv.c_str());
+  }
+  if (result.interrupted) {
+    std::printf("interrupted: drained in-flight jobs, partial report only\n");
+    return 4;
   }
   return result.total_violations() == 0 ? 0 : 1;
 }
@@ -436,11 +573,14 @@ void print_stats(const core::MoveContext& ctx,
 
 int main(int argc, char** argv) {
   Options options;
-  if (!parse_args(argc, argv, options)) {
-    usage();
-    return 2;
+  if (const int status = parse_args(argc, argv, options); status != 0) {
+    if (status == 2) usage();  // malformed values (3) already explained
+    return status;
   }
   try {
+    if (!options.campaign.empty() || !options.validate.empty()) {
+      install_signal_handlers();
+    }
     if (!options.campaign.empty()) return run_campaign_mode(options);
     if (!options.validate.empty()) return run_validation_mode(options);
 
@@ -480,6 +620,9 @@ int main(int argc, char** argv) {
     report(sys, orr.best, orr.best_eval, options);
     if (options.stats) print_stats(ctx, mcs_options);
     return orr.best_eval.schedulable ? 0 : 1;
+  } catch (const exp::JournalError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 5;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
