@@ -1,0 +1,169 @@
+// Observability overhead bench: what does arming the whole layer cost?
+//
+// Runs the same campaign twice — bare, then with metrics AND span tracing
+// armed — and reports the wall-clock overhead, which the design budget
+// caps at 2% (DESIGN.md §7).  Both runs must produce the same report
+// signature: arming observability is not allowed to touch a deterministic
+// field (zero-interference contract).  A second phase measures the raw
+// hot-path primitives — disabled-gate cost, enabled counter add, span
+// record — in nanoseconds per operation.
+//
+// Emits BENCH_observability.json (a CI perf artifact).  Exits non-zero
+// only on a signature mismatch — timing noise must not fail CI.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "mcs/obs/metrics.hpp"
+#include "mcs/obs/trace.hpp"
+
+using namespace mcs;
+
+namespace {
+
+double best_of(int rounds, const std::function<double()>& run) {
+  double best = 0.0;
+  for (int i = 0; i < rounds; ++i) {
+    const double s = run();
+    if (i == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const bench::Profile profile = bench::Profile::from_env();
+  exp::CampaignSpec spec = profile.campaign_spec(
+      "observability", "tiny",
+      {exp::Strategy::Sf, exp::Strategy::Os, exp::Strategy::Sas});
+  // Same reasoning as bench_resilience: a sub-100ms campaign drowns the
+  // overhead measurement in timer noise, and the 2% budget is defined
+  // against paper-scale jobs where per-job publishing amortizes.
+  if (std::getenv("MCS_BENCH_SEEDS") == nullptr && spec.seeds_per_dim < 8) {
+    spec.seeds_per_dim = 8;
+  }
+  if (std::getenv("MCS_BENCH_SA_EVALS") == nullptr &&
+      spec.budgets.sa_max_evaluations < 2000) {
+    spec.budgets.sa_max_evaluations = 2000;
+  }
+
+  std::printf("Observability overhead: bare campaign vs metrics + tracing\n\n");
+
+  obs::set_metrics_enabled(false);
+  obs::stop_tracing();
+  std::uint64_t bare_signature = 0;
+  const double bare_s = best_of(3, [&] {
+    bench::Stopwatch sw;
+    const exp::CampaignResult result = exp::run_campaign(spec);
+    bare_signature = result.signature();
+    return sw.seconds();
+  });
+
+  // Full stack: metrics registry recording + span tracer armed, trace
+  // serialized at the end (the file write is part of what --trace costs).
+  std::uint64_t observed_signature = 0;
+  std::size_t trace_events = 0;
+  std::size_t trace_bytes = 0;
+  const double observed_s = best_of(3, [&] {
+    obs::reset_metrics();
+    obs::set_metrics_enabled(true);
+    obs::start_tracing();
+    bench::Stopwatch sw;
+    const exp::CampaignResult result = exp::run_campaign(spec);
+    observed_signature = result.signature();
+    obs::stop_tracing();
+    std::ostringstream trace;
+    obs::write_chrome_trace(trace);
+    const double s = sw.seconds();
+    obs::set_metrics_enabled(false);
+    trace_events = obs::trace_event_count();
+    trace_bytes = trace.str().size();
+    return s;
+  });
+  const double overhead_pct =
+      bare_s > 0 ? (observed_s / bare_s - 1.0) * 100.0 : 0.0;
+
+  // Hot-path primitives.  The disabled gate is what every instrumented
+  // call site pays when observability is off — it must be branch-cheap.
+  constexpr std::uint64_t kOps = 10'000'000;
+  static const obs::Counter bench_counter = obs::counter("bench.obs.counter");
+
+  obs::set_metrics_enabled(false);
+  const double disabled_s = best_of(3, [&] {
+    bench::Stopwatch sw;
+    for (std::uint64_t i = 0; i < kOps; ++i) bench_counter.add();
+    return sw.seconds();
+  });
+
+  obs::set_metrics_enabled(true);
+  const double enabled_s = best_of(3, [&] {
+    bench::Stopwatch sw;
+    for (std::uint64_t i = 0; i < kOps; ++i) bench_counter.add();
+    return sw.seconds();
+  });
+  obs::set_metrics_enabled(false);
+
+  constexpr std::uint64_t kSpanOps = 1'000'000;
+  obs::start_tracing();
+  const double span_s = best_of(3, [&] {
+    obs::start_tracing();  // reset buffers so the cap never bites
+    bench::Stopwatch sw;
+    for (std::uint64_t i = 0; i < kSpanOps; ++i) {
+      const obs::Span span("bench.obs.span", i);
+    }
+    return sw.seconds();
+  });
+  obs::stop_tracing();
+
+  const double disabled_ns = disabled_s * 1e9 / static_cast<double>(kOps);
+  const double enabled_ns = enabled_s * 1e9 / static_cast<double>(kOps);
+  const double span_ns = span_s * 1e9 / static_cast<double>(kSpanOps);
+
+  const bool signatures_match = bare_signature == observed_signature;
+  std::printf("bare campaign        : %.3f s  (signature %016llx)\n", bare_s,
+              static_cast<unsigned long long>(bare_signature));
+  std::printf("metrics + tracing    : %.3f s  (signature %016llx)\n",
+              observed_s, static_cast<unsigned long long>(observed_signature));
+  std::printf("overhead             : %+.2f %%  (budget: < 2 %%)\n",
+              overhead_pct);
+  std::printf("trace                : %zu events, %zu bytes JSON\n",
+              trace_events, trace_bytes);
+  std::printf("counter.add disabled : %.2f ns/op\n", disabled_ns);
+  std::printf("counter.add enabled  : %.2f ns/op\n", enabled_ns);
+  std::printf("span B+E enabled     : %.2f ns/span\n", span_ns);
+
+  std::ofstream out("BENCH_observability.json");
+  if (out) {
+    out << "{\n  \"bench\": \"observability\",\n"
+        << "  \"bare_seconds\": " << bare_s << ",\n"
+        << "  \"observed_seconds\": " << observed_s << ",\n"
+        << "  \"overhead_pct\": " << overhead_pct << ",\n"
+        << "  \"overhead_budget_pct\": 2.0,\n"
+        << "  \"trace_events\": " << trace_events << ",\n"
+        << "  \"trace_bytes\": " << trace_bytes << ",\n"
+        << "  \"counter_add_disabled_ns\": " << disabled_ns << ",\n"
+        << "  \"counter_add_enabled_ns\": " << enabled_ns << ",\n"
+        << "  \"span_ns\": " << span_ns << ",\n"
+        << "  \"signatures_match\": " << (signatures_match ? "true" : "false")
+        << "\n}\n";
+    std::printf("wrote BENCH_observability.json\n");
+  } else {
+    std::fprintf(stderr, "warning: could not write BENCH_observability.json\n");
+  }
+
+  if (!signatures_match) {
+    std::fprintf(stderr,
+                 "observability: arming metrics + tracing changed the report "
+                 "signature — the zero-interference contract is broken\n");
+    return 1;
+  }
+  if (overhead_pct >= 2.0) {
+    std::printf("note: overhead above the 2%% budget on this machine/run "
+                "(informational; not a CI failure)\n");
+  }
+  return 0;
+}

@@ -525,6 +525,17 @@ public:
   [[nodiscard]] int trace_iteration() const noexcept { return trace_iteration_; }
   void set_trace_iteration(int iteration) noexcept { trace_iteration_ = iteration; }
 
+  // --- observability sampling ------------------------------------------
+  /// Monotonic analysis-run counter, bumped on EVERY mcs_run regardless of
+  /// whether tracing is armed, so the sampled-run set (run index divisible
+  /// by obs::kAnalysisSampleEvery) is a deterministic property of the
+  /// workload, not of when the tracer was switched on.
+  [[nodiscard]] std::uint64_t next_obs_run() noexcept { return obs_runs_++; }
+  /// Whether the analysis run currently in flight was picked for span
+  /// sampling (set by mcs_run, read by the RTA pass loop).
+  [[nodiscard]] bool obs_sampled() const noexcept { return obs_sampled_; }
+  void set_obs_sampled(bool sampled) noexcept { obs_sampled_ = sampled; }
+
 private:
   void build();
 
@@ -580,6 +591,9 @@ private:
 
   std::vector<TraceRecord>* trace_sink_ = nullptr;
   int trace_iteration_ = -1;
+
+  std::uint64_t obs_runs_ = 0;
+  bool obs_sampled_ = false;
 };
 
 /// FNV-1a hash of the complete fixed-point state (trace records, tests).

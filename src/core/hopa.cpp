@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 
 #include "mcs/model/process_graph.hpp"
+#include "mcs/obs/trace.hpp"
 
 namespace mcs::core {
 
@@ -104,12 +106,14 @@ HopaResult hopa_priorities(const Application& app, const arch::Platform& platfor
 HopaResult hopa_priorities(const Application& app, const arch::Platform& platform,
                            const arch::TdmaRound& tdma,
                            AnalysisWorkspace& workspace, const HopaOptions& options) {
+  const obs::Span hopa_span("hopa.run");
   LocalDeadlines ld = initial_deadlines(app, platform);
 
   HopaResult best;
   bool have_best = false;
 
   for (int iter = 0; iter < std::max(1, options.max_iterations); ++iter) {
+    const obs::Span iter_span("hopa.iteration", static_cast<std::uint64_t>(iter));
     std::vector<Priority> proc_prio, msg_prio;
     assign_deadline_monotonic(ld, proc_prio, msg_prio);
 

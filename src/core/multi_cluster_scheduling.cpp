@@ -1,11 +1,14 @@
 #include "mcs/core/multi_cluster_scheduling.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "mcs/obs/metrics.hpp"
+#include "mcs/obs/trace.hpp"
 #include "mcs/util/hash.hpp"
 #include "mcs/util/log.hpp"
 
@@ -78,9 +81,21 @@ McsResult mcs_run(const model::Application& app, const arch::Platform& platform,
   DeltaStats& stats = workspace.delta_stats();
   std::vector<AnalysisWorkspace::TraceRecord>* sink = workspace.trace_sink();
 
+  // Sampling is keyed off the workspace's deterministic run counter (which
+  // advances on every run, traced or not), so the set of sampled runs is
+  // identical across reruns and never depends on wall clock.
+  const std::uint64_t run_index = workspace.next_obs_run();
+  const bool sampled =
+      obs::tracing_enabled() && run_index % obs::kAnalysisSampleEvery == 0;
+  workspace.set_obs_sampled(sampled);
+  std::optional<obs::Span> run_span;
+  if (sampled) run_span.emplace("mcs.run", run_index);
+
   std::vector<util::Time> previous_offsets;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
+    std::optional<obs::Span> iter_span;
+    if (sampled) iter_span.emplace("mcs.iteration", static_cast<std::uint64_t>(iter));
 
     const McsIterRecord* rec = nullptr;
     if (base != nullptr &&
@@ -201,6 +216,14 @@ McsResult mcs_run(const model::Application& app, const arch::Platform& platform,
   if (!result.converged) {
     MCS_LOG(Debug) << "multi_cluster_scheduling: no fixed point after "
                    << result.iterations << " iterations";
+  }
+
+  workspace.set_obs_sampled(false);
+  if (obs::metrics_enabled()) {
+    static constexpr std::int64_t kIterBounds[] = {1, 2, 3, 4, 6, 8, 12, 16};
+    static const obs::Histogram h =
+        obs::histogram("mcs.iterations_per_run", kIterBounds);
+    h.record(result.iterations);
   }
   return result;
 }

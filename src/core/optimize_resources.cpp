@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mcs/obs/trace.hpp"
 #include "mcs/util/log.hpp"
 
 namespace mcs::core {
@@ -75,6 +76,7 @@ OptimizeResourcesResult minimize_buffers_from(
 
 OptimizeResourcesResult optimize_resources(const MoveContext& ctx,
                                            const OptimizeResourcesOptions& options) {
+  const obs::Span span("or.run");
   // Step 1: find a schedulable system and collect seeds.
   OptimizeScheduleResult schedule = optimize_schedule(ctx, options.schedule);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mcs/obs/trace.hpp"
 #include "mcs/util/log.hpp"
 
 namespace mcs::core {
@@ -41,6 +42,7 @@ void record_seed(std::vector<SeedSolution>& seeds, const Candidate& candidate,
 
 OptimizeScheduleResult optimize_schedule(const MoveContext& ctx,
                                          const OptimizeScheduleOptions& options) {
+  const obs::Span span("os.run");
   const model::Application& app = ctx.app();
   const arch::Platform& platform = ctx.platform();
 

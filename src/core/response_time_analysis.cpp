@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
 #include "mcs/core/gateway_analysis.hpp"
+#include "mcs/obs/trace.hpp"
 #include "mcs/util/math.hpp"
 
 namespace mcs::core {
@@ -1938,6 +1940,12 @@ AnalysisResult response_time_analysis(const AnalysisInput& input,
   int passes_run = 0;
   for (; iterations < ctx.opt.max_outer_iterations; ++iterations) {
     ctx.changed = false;
+    // One span per fixed-point pass, only on runs the workspace sampled
+    // (mcs.run counter divisible by obs::kAnalysisSampleEvery).
+    std::optional<obs::Span> pass_span;
+    if (workspace.obs_sampled()) {
+      pass_span.emplace("rta.pass", static_cast<std::uint64_t>(passes_run));
+    }
     // Base snapshot of the pass at the same depth (nullptr past the stored
     // tail — the pass then recomputes everything, which is still exact).
     const std::size_t k = static_cast<std::size_t>(passes_run);

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "mcs/obs/metrics.hpp"
+#include "mcs/obs/trace.hpp"
 #include "mcs/util/log.hpp"
 
 namespace mcs::core {
@@ -23,6 +25,7 @@ double sa_cost(SaObjective objective, const Evaluation& eval) {
 
 SaResult simulated_annealing(const MoveContext& ctx, const Candidate& start,
                              const SaOptions& options) {
+  const obs::Span span("sa.run", options.seed);
   util::Rng rng(options.seed);
 
   SaResult result{start, ctx.evaluate(start), 0.0, 1, 0};
@@ -87,12 +90,16 @@ SaResult simulated_annealing(const MoveContext& ctx, const Candidate& start,
         result.best_cost = cost;
       }
       if (options.target_cost && result.best_cost <= *options.target_cost) {
+        static const obs::Counter evals_counter = obs::counter("sa.evaluations");
+        evals_counter.add(static_cast<std::uint64_t>(result.evaluations));
         return result;
       }
     }
     temperature *= options.cooling;
   }
 
+  static const obs::Counter evals_counter = obs::counter("sa.evaluations");
+  evals_counter.add(static_cast<std::uint64_t>(result.evaluations));
   const DeltaStats& delta = ctx.delta_stats();
   MCS_LOG(Info) << "simulated_annealing: best cost " << result.best_cost
                 << " after " << result.evaluations << " evaluations ("

@@ -1,10 +1,12 @@
 #include "mcs/core/straightforward.hpp"
 
 #include "mcs/core/hopa.hpp"
+#include "mcs/obs/trace.hpp"
 
 namespace mcs::core {
 
 StraightforwardResult straightforward(const MoveContext& ctx) {
+  const obs::Span span("sf.run");
   StraightforwardResult result{Candidate::initial(ctx.app(), ctx.platform()), {}};
   const HopaResult dm = initial_deadline_monotonic(ctx.app(), ctx.platform());
   result.candidate.process_priorities = dm.process_priorities;

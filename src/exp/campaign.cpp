@@ -15,6 +15,8 @@
 #include "mcs/core/straightforward.hpp"
 #include "mcs/exp/journal.hpp"
 #include "mcs/gen/generator.hpp"
+#include "mcs/obs/export.hpp"
+#include "mcs/obs/trace.hpp"
 #include "mcs/util/hash.hpp"
 #include "mcs/util/kv_parse.hpp"
 #include "mcs/util/stats.hpp"
@@ -51,6 +53,7 @@ constexpr const char* kSpecContext = "campaign spec";
                                 const gen::SuitePoint& point,
                                 std::size_t job_index,
                                 const util::CancelToken& cancel) {
+  const obs::Span job_span("campaign.job", static_cast<std::uint64_t>(job_index));
   const auto job_start = std::chrono::steady_clock::now();
   JobResult job;
   job.job_index = job_index;
@@ -147,6 +150,20 @@ constexpr const char* kSpecContext = "campaign spec";
     job.outcomes.push_back(outcome);
   }
 
+  // Per-job engine metrics: every field is a pure function of the job's
+  // inputs (the workspace and cache are job-local), so they go INTO the
+  // determinism signature rather than being carved out of it.
+  for (const StrategyOutcome& o : job.outcomes) {
+    job.evals += static_cast<std::uint64_t>(o.evaluations);
+  }
+  job.cache_hits = ctx.evaluation_cache().hits();
+  job.cache_lookups = ctx.evaluation_cache().hits() + ctx.evaluation_cache().misses();
+  job.delta_fallbacks = ctx.workspace().delta_stats().fallbacks;
+  obs::publish_workspace(ctx.workspace(), ctx.evaluation_cache().hits(),
+                         ctx.evaluation_cache().misses(),
+                         ctx.workspace().active_kernel_name(
+                             spec.mcs_options().analysis.kernel));
+
   job.seconds = seconds_since(job_start);
   return job;
 }
@@ -211,6 +228,10 @@ void update_signature(util::Fnv1a& h, const JobResult& job) {
   h.update(static_cast<std::uint64_t>(job.state));
   h.update(static_cast<std::uint64_t>(job.attempts));
   update_signature(h, job.error);
+  h.update(job.evals);
+  h.update(job.cache_hits);
+  h.update(job.cache_lookups);
+  h.update(job.delta_fallbacks);
 }
 
 /// Minimal JSON string escaping for the user-controlled spec fields.
@@ -401,6 +422,12 @@ std::string encode_job_result(const JobResult& job) {
     w.i64(o.evaluations);
     w.f64(o.seconds);
   }
+  // Per-job metrics (appended last: the codec is sequential, so new
+  // fields always go at the end of the payload).
+  w.u64(job.evals);
+  w.u64(job.cache_hits);
+  w.u64(job.cache_lookups);
+  w.u64(job.delta_fallbacks);
   return w.take();
 }
 
@@ -445,6 +472,10 @@ JobResult decode_job_result(const std::string& payload) {
     o.seconds = r.f64();
     job.outcomes.push_back(o);
   }
+  job.evals = r.u64();
+  job.cache_hits = r.u64();
+  job.cache_lookups = r.u64();
+  job.delta_fallbacks = r.u64();
   return job;
 }
 
@@ -627,10 +658,8 @@ void write_json(const CampaignResult& result, std::ostream& out) {
     for (const JobResult& job : result.jobs) {
       if (si < job.outcomes.size()) seconds.push_back(job.outcomes[si].seconds);
     }
-    // util::percentile throws on empty input (zero-job campaigns).
-    const auto pct = [&seconds](double p) {
-      return seconds.empty() ? 0.0 : util::percentile(seconds, p);
-    };
+    // util::percentile returns 0.0 on empty input (zero-job campaigns).
+    const auto pct = [&seconds](double p) { return util::percentile(seconds, p); };
     out << "    \"" << to_string(spec.strategies[si]) << "\": {\"p50\": "
         << pct(50) << ", \"p90\": " << pct(90) << ", \"max\": " << pct(100)
         << "}" << (si + 1 < spec.strategies.size() ? "," : "") << "\n";
@@ -648,7 +677,12 @@ void write_json(const CampaignResult& result, std::ostream& out) {
         << ", \"attempts\": " << job.attempts
         << ", \"failed\": " << (job.failed() ? "true" : "false")
         << ", \"error\": \"" << json_escape(job.error) << "\""
-        << ", \"seconds\": " << job.seconds << ",\n     \"outcomes\": [";
+        << ", \"seconds\": " << job.seconds << ",\n     \"metrics\": {\"evals\": "
+        << job.evals << ", \"cache_hits\": " << job.cache_hits
+        << ", \"cache_lookups\": " << job.cache_lookups
+        << ", \"cache_hit_rate\": " << job.cache_hit_rate()
+        << ", \"delta_fallbacks\": " << job.delta_fallbacks
+        << "},\n     \"outcomes\": [";
     for (std::size_t si = 0; si < job.outcomes.size(); ++si) {
       const StrategyOutcome& o = job.outcomes[si];
       out << (si ? ",\n       " : "\n       ") << "{\"strategy\": \""
@@ -666,9 +700,13 @@ void write_json(const CampaignResult& result, std::ostream& out) {
 }
 
 void write_csv(const CampaignResult& result, std::ostream& out) {
+  // The wall-clock column stays LAST: every other column is deterministic,
+  // and consumers (including campaign_test.cpp) strip the final column to
+  // compare reports across runs and thread counts.
   out << "campaign,job,dimension,replica,system_seed,processes,messages,"
          "inter_cluster_messages,strategy,schedulable,skipped,state,attempts,"
-         "error,delta_f1,delta_f2,s_total,s_total_before,evaluations,seconds\n";
+         "error,delta_f1,delta_f2,s_total,s_total_before,evaluations,"
+         "evals,cache_hit_rate,delta_fallbacks,seconds\n";
   const std::string name = csv_escape(result.spec.name);
   for (const JobResult& job : result.jobs) {
     const auto prefix = [&](std::ostream& os) -> std::ostream& {
@@ -681,7 +719,8 @@ void write_csv(const CampaignResult& result, std::ostream& out) {
       // disposition is visible in the report.
       prefix(out) << ",-,0,0," << to_string(job.state) << ',' << job.attempts
                   << ',' << csv_escape(job.error) << ",0,0,0,0,0,"
-                  << job.seconds << '\n';
+                  << job.evals << ',' << job.cache_hit_rate() << ','
+                  << job.delta_fallbacks << ',' << job.seconds << '\n';
       continue;
     }
     for (const StrategyOutcome& o : job.outcomes) {
@@ -690,7 +729,9 @@ void write_csv(const CampaignResult& result, std::ostream& out) {
                   << ',' << to_string(job.state) << ',' << job.attempts << ','
                   << csv_escape(job.error) << ',' << o.delta.f1 << ','
                   << o.delta.f2 << ',' << o.s_total << ',' << o.s_total_before
-                  << ',' << o.evaluations << ',' << o.seconds << '\n';
+                  << ',' << o.evaluations << ',' << job.evals << ','
+                  << job.cache_hit_rate() << ',' << job.delta_fallbacks << ','
+                  << o.seconds << '\n';
     }
   }
 }

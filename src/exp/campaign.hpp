@@ -141,6 +141,20 @@ struct JobResult {
   int attempts = 1;
   std::string error;
   double seconds = 0.0;
+  /// Per-job engine metrics (DESIGN.md §7).  All four are deterministic —
+  /// pure functions of the job's inputs, independent of thread count —
+  /// and therefore part of the signature.
+  std::uint64_t evals = 0;            ///< total strategy evaluations
+  std::uint64_t cache_hits = 0;       ///< evaluation-cache hits
+  std::uint64_t cache_lookups = 0;    ///< evaluation-cache lookups (hits+misses)
+  std::uint64_t delta_fallbacks = 0;  ///< delta runs that fell back to cold
+
+  /// Cache hit rate in [0,1] (0 when the job never consulted the cache).
+  [[nodiscard]] double cache_hit_rate() const {
+    return cache_lookups == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) / static_cast<double>(cache_lookups);
+  }
 
   [[nodiscard]] bool failed() const { return state == RunState::Failed; }
 

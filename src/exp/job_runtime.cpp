@@ -8,6 +8,8 @@
 #include <string>
 #include <thread>
 
+#include "mcs/obs/metrics.hpp"
+#include "mcs/obs/trace.hpp"
 #include "mcs/util/hash.hpp"
 #include "mcs/util/thread_pool.hpp"
 
@@ -198,6 +200,7 @@ std::vector<JobDisposition> run_jobs(
         disp.attempts = 0;
         disp.error = "shed: admission queue limit " +
                      std::to_string(options.queue_limit) + " exceeded";
+        obs::instant("job.shed", static_cast<std::uint64_t>(i));
         if (on_settled) on_settled(i, disp);
         return;
       }
@@ -220,6 +223,9 @@ std::vector<JobDisposition> run_jobs(
         token.reset();
         watchdog.arm(&token);
         try {
+          // Inside the try block: stack unwinding on any failure path
+          // closes the span, keeping B/E events balanced.
+          const obs::Span attempt_span("job.attempt", static_cast<std::uint64_t>(i));
           inject_fault(options, i, attempt, token);
           body(i, token);
           watchdog.disarm(&token);
@@ -237,6 +243,7 @@ std::vector<JobDisposition> run_jobs(
             return;  // stays Pending: result discarded, resume re-runs it
           }
           // Watchdog deadline: deterministic terminal timeout, no retry.
+          obs::instant("job.timeout", static_cast<std::uint64_t>(i));
           disp.state = RunState::Timeout;
           disp.attempts = attempt;
           disp.error = "timeout: watchdog deadline " +
@@ -245,7 +252,10 @@ std::vector<JobDisposition> run_jobs(
         } catch (const std::bad_alloc&) {
           watchdog.disarm(&token);
           transient_reason = "transient: allocation failure (std::bad_alloc)";
-          if (attempt <= options.max_retries) continue;
+          if (attempt <= options.max_retries) {
+            obs::instant("job.retry", static_cast<std::uint64_t>(i));
+            continue;
+          }
           disp.state = RunState::Failed;
           disp.attempts = attempt;
           disp.error = transient_reason + " (retries exhausted after " +
@@ -254,7 +264,10 @@ std::vector<JobDisposition> run_jobs(
         } catch (const TransientError& error) {
           watchdog.disarm(&token);
           transient_reason = error.what();
-          if (attempt <= options.max_retries) continue;
+          if (attempt <= options.max_retries) {
+            obs::instant("job.retry", static_cast<std::uint64_t>(i));
+            continue;
+          }
           disp.state = RunState::Failed;
           disp.attempts = attempt;
           disp.error = transient_reason + " (retries exhausted after " +
@@ -270,6 +283,29 @@ std::vector<JobDisposition> run_jobs(
       }
       if (on_settled) on_settled(i, disp);
     });
+  }
+
+  if (obs::metrics_enabled()) {
+    // Published once, after the pool has joined, from this single thread:
+    // the totals are a pure function of the dispositions and therefore
+    // identical for any worker count.
+    static const obs::Counter done_c = obs::counter("runtime.jobs_done");
+    static const obs::Counter timeout_c = obs::counter("runtime.jobs_timeout");
+    static const obs::Counter failed_c = obs::counter("runtime.jobs_failed");
+    static const obs::Counter shed_c = obs::counter("runtime.jobs_shed");
+    static const obs::Counter retries_c = obs::counter("runtime.retries");
+    for (const JobDisposition& disp : dispositions) {
+      switch (disp.state) {
+        case RunState::Done: done_c.add(); break;
+        case RunState::Timeout: timeout_c.add(); break;
+        case RunState::Failed: failed_c.add(); break;
+        case RunState::Shed: shed_c.add(); break;
+        case RunState::Pending: break;
+      }
+      if (disp.attempts > 1) {
+        retries_c.add(static_cast<std::uint64_t>(disp.attempts - 1));
+      }
+    }
   }
 
   if (report != nullptr) {

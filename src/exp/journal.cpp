@@ -8,6 +8,8 @@
 #include <cstring>
 #include <utility>
 
+#include "mcs/obs/metrics.hpp"
+#include "mcs/obs/trace.hpp"
 #include "mcs/util/hash.hpp"
 
 namespace mcs::exp {
@@ -199,6 +201,11 @@ JournalWriter JournalWriter::open_or_create(const std::filesystem::path& path,
 }
 
 void JournalWriter::append(std::string_view payload) {
+  const obs::Span span("journal.append", payload.size());
+  static const obs::Counter appends = obs::counter("journal.appends");
+  static const obs::Counter bytes = obs::counter("journal.bytes");
+  appends.add();
+  bytes.add(payload.size());
   const std::lock_guard lock(mutex_);
   if (fd_ < 0) throw JournalError("append to closed journal '" + path_.string() + "'");
   std::string record;
@@ -216,6 +223,7 @@ void JournalWriter::append(std::string_view payload) {
 }
 
 void JournalWriter::sync() {
+  const obs::Span span("journal.sync");
   const std::lock_guard lock(mutex_);
   if (fd_ < 0) return;
   if (::fsync(fd_) != 0) throw_errno("fsync '" + path_.string() + "'");

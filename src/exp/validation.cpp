@@ -10,6 +10,8 @@
 #include "mcs/core/optimize_resources.hpp"
 #include "mcs/core/straightforward.hpp"
 #include "mcs/gen/generator.hpp"
+#include "mcs/obs/export.hpp"
+#include "mcs/obs/trace.hpp"
 #include "mcs/util/hash.hpp"
 #include "mcs/util/kv_parse.hpp"
 #include "mcs/util/thread_pool.hpp"
@@ -87,6 +89,7 @@ constexpr const char* kSpecContext = "validation spec";
                                     const gen::SuitePoint& point,
                                     std::size_t job_index,
                                     const util::CancelToken& cancel) {
+  const obs::Span job_span("validation.job", static_cast<std::uint64_t>(job_index));
   const auto job_start = std::chrono::steady_clock::now();
   ValidationJob job;
   job.job_index = job_index;
@@ -115,18 +118,21 @@ constexpr const char* kSpecContext = "validation spec";
       auto sf = core::straightforward(ctx);
       candidate = std::move(sf.candidate);
       eval = std::move(sf.evaluation);
+      job.evals = 1;
       break;
     }
     case Strategy::Os: {
       auto os = core::optimize_schedule(ctx, os_options);
       candidate = std::move(os.best);
       eval = std::move(os.best_eval);
+      job.evals = static_cast<std::uint64_t>(os.evaluations);
       break;
     }
     case Strategy::Or: {
       auto orr = core::optimize_resources(ctx, or_options);
       candidate = std::move(orr.best);
       eval = std::move(orr.best_eval);
+      job.evals = static_cast<std::uint64_t>(orr.evaluations);
       break;
     }
     case Strategy::Sas:
@@ -136,6 +142,15 @@ constexpr const char* kSpecContext = "validation spec";
   }
   job.converged = eval.mcs.converged;
   job.schedulable = eval.schedulable;
+  // Synthesis is over, so the job-local cache and workspace counters are
+  // final: record them before any of the early returns below.
+  job.cache_hits = ctx.evaluation_cache().hits();
+  job.cache_lookups = ctx.evaluation_cache().hits() + ctx.evaluation_cache().misses();
+  job.delta_fallbacks = ctx.workspace().delta_stats().fallbacks;
+  obs::publish_workspace(ctx.workspace(), ctx.evaluation_cache().hits(),
+                         ctx.evaluation_cache().misses(),
+                         ctx.workspace().active_kernel_name(
+                             spec.mcs_options().analysis.kernel));
 
   // Bounds from a non-converged fixed point are not claims the analysis
   // makes, so there is nothing sound to check (mirrors the cross
@@ -185,6 +200,7 @@ constexpr const char* kSpecContext = "validation spec";
         scenario_seed(scenario, spec.campaign_seed, job_index, si);
     const sim::SimResult faulted = sim::simulate(
         sys.app, sys.platform, cfg, eval.mcs.schedule, sim_options, scenario);
+    obs::publish_fault_counters(faulted.faults);
     job.scenarios.push_back(
         summarize(scenario, sys.app, eval.mcs.analysis, faulted));
     if (faulted.status == sim::SimStatus::EventLimitExhausted) {
@@ -262,6 +278,10 @@ void update_signature(util::Fnv1a& h, const ValidationJob& job) {
     h.update(s.queue_over_bound);
     h.update(static_cast<std::int64_t>(s.worst_lateness));
   }
+  h.update(job.evals);
+  h.update(job.cache_hits);
+  h.update(job.cache_lookups);
+  h.update(job.delta_fallbacks);
 }
 
 [[nodiscard]] std::string json_escape(const std::string& s) {
@@ -567,7 +587,12 @@ void write_json(const ValidationResult& result, std::ostream& out) {
         << (job.schedulable ? "true" : "false") << ", \"checked\": "
         << (job.bounds_checked ? "true" : "false") << ", \"skip_reason\": \""
         << json_escape(job.skip_reason) << "\", \"seconds\": " << job.seconds
-        << ",\n     \"violations\": [";
+        << ",\n     \"metrics\": {\"evals\": " << job.evals
+        << ", \"cache_hits\": " << job.cache_hits
+        << ", \"cache_lookups\": " << job.cache_lookups
+        << ", \"cache_hit_rate\": " << job.cache_hit_rate()
+        << ", \"delta_fallbacks\": " << job.delta_fallbacks
+        << "},\n     \"violations\": [";
     for (std::size_t vi = 0; vi < job.violations.size(); ++vi) {
       const sim::BoundViolation& v = job.violations[vi];
       out << (vi ? ", " : "") << "{\"activity\": \"" << json_escape(v.activity)
@@ -599,7 +624,7 @@ void write_csv(const ValidationResult& result, std::ostream& out) {
          "violations,"
          "scenario,sim_status,deadline_misses,messages_lost,config_violations,"
          "faults_injected,max_out_can,max_out_ttp,queue_over_bound,"
-         "worst_lateness,seconds\n";
+         "worst_lateness,evals,cache_hit_rate,delta_fallbacks,seconds\n";
   const std::string name = csv_escape(result.spec.name);
   for (const ValidationJob& job : result.jobs) {
     const auto prefix = [&](std::ostream& os) -> std::ostream& {
@@ -613,16 +638,23 @@ void write_csv(const ValidationResult& result, std::ostream& out) {
                 << csv_escape(job.skip_reason) << ','
                 << job.violations.size();
     };
+    // Instrumentation columns, then the wall-clock column LAST: everything
+    // before `seconds` is deterministic, so consumers can strip the final
+    // column to compare reports across runs and thread counts.
+    const auto suffix = [&](std::ostream& os) -> std::ostream& {
+      return os << ',' << job.evals << ',' << job.cache_hit_rate() << ','
+                << job.delta_fallbacks << ',' << job.seconds;
+    };
     // The fault-free row, then one row per fault scenario.
-    prefix(out) << ",nominal,-,0,0,0,0,0,0,0,0," << job.seconds << '\n';
+    suffix(prefix(out) << ",nominal,-,0,0,0,0,0,0,0,0") << '\n';
     for (const ScenarioOutcome& s : job.scenarios) {
-      prefix(out) << ',' << csv_escape(s.scenario) << ','
-                  << sim::to_string(s.sim_status) << ',' << s.deadline_misses
-                  << ',' << s.messages_lost << ',' << s.config_violations << ','
-                  << s.faults.total() << ',' << s.max_out_can << ','
-                  << s.max_out_ttp << ',' << s.queue_over_bound << ','
-                  << static_cast<std::int64_t>(s.worst_lateness) << ','
-                  << job.seconds << '\n';
+      suffix(prefix(out) << ',' << csv_escape(s.scenario) << ','
+                         << sim::to_string(s.sim_status) << ',' << s.deadline_misses
+                         << ',' << s.messages_lost << ',' << s.config_violations << ','
+                         << s.faults.total() << ',' << s.max_out_can << ','
+                         << s.max_out_ttp << ',' << s.queue_over_bound << ','
+                         << static_cast<std::int64_t>(s.worst_lateness))
+          << '\n';
     }
   }
 }

@@ -126,6 +126,18 @@ struct ValidationJob {
   std::vector<sim::BoundViolation> violations;
   std::vector<ScenarioOutcome> scenarios;
   double seconds = 0.0;
+  /// Per-job engine metrics (DESIGN.md §7): deterministic, signed.
+  std::uint64_t evals = 0;            ///< synthesis strategy evaluations
+  std::uint64_t cache_hits = 0;       ///< evaluation-cache hits
+  std::uint64_t cache_lookups = 0;    ///< evaluation-cache lookups (hits+misses)
+  std::uint64_t delta_fallbacks = 0;  ///< delta runs that fell back to cold
+
+  /// Cache hit rate in [0,1] (0 when the job never consulted the cache).
+  [[nodiscard]] double cache_hit_rate() const {
+    return cache_lookups == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) / static_cast<double>(cache_lookups);
+  }
 
   /// FNV-1a over every deterministic field (seconds excluded).
   [[nodiscard]] std::uint64_t signature() const;

@@ -1,0 +1,252 @@
+#include "mcs/obs/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+
+namespace mcs::obs {
+
+namespace {
+
+/// Fixed shard capacity: registration hands out slots from this space and
+/// throws when it is exhausted, so a shard never reallocates and hot-path
+/// increments never race a resize.
+constexpr std::size_t kMaxSlots = 1024;
+constexpr std::size_t kMaxGauges = 128;
+
+struct Shard {
+  std::array<std::atomic<std::uint64_t>, kMaxSlots> slots{};
+};
+
+struct Registration {
+  std::string name;
+  MetricValue::Kind kind = MetricValue::Kind::Counter;
+  std::uint32_t base = 0;    ///< shard slot (counter/histogram) or gauge index
+  std::vector<std::int64_t> bounds;  ///< histogram only
+};
+
+struct Registry {
+  std::mutex mutex;
+  // std::map keeps names sorted — snapshot order falls out of iteration.
+  std::map<std::string, Registration, std::less<>> by_name;
+  std::uint32_t next_slot = 0;
+  std::uint32_t next_gauge = 0;
+  // Shards are owned here and never freed: a worker thread that exits
+  // leaves its counts behind for the final merge.  Bounded by the number
+  // of threads ever created (a few KB each).
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::array<std::atomic<std::int64_t>, kMaxGauges> gauges{};
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives late-exiting threads
+  return *r;
+}
+
+std::atomic<bool> g_enabled{false};
+
+thread_local Shard* t_shard = nullptr;
+
+Shard& local_shard() {
+  if (t_shard == nullptr) {
+    Registry& r = registry();
+    auto shard = std::make_unique<Shard>();
+    const std::lock_guard lock(r.mutex);
+    r.shards.push_back(std::move(shard));
+    t_shard = r.shards.back().get();
+  }
+  return *t_shard;
+}
+
+[[nodiscard]] Registration& register_metric(std::string_view name,
+                                            MetricValue::Kind kind,
+                                            std::uint32_t extent,
+                                            std::span<const std::int64_t> bounds) {
+  Registry& r = registry();
+  const std::lock_guard lock(r.mutex);
+  if (const auto it = r.by_name.find(name); it != r.by_name.end()) {
+    Registration& reg = it->second;
+    const bool bounds_match =
+        kind != MetricValue::Kind::Histogram ||
+        std::equal(bounds.begin(), bounds.end(), reg.bounds.begin(),
+                   reg.bounds.end());
+    if (reg.kind != kind || !bounds_match) {
+      throw std::logic_error("metric '" + std::string(name) +
+                             "' re-registered with a different shape");
+    }
+    return reg;
+  }
+  Registration reg;
+  reg.name = std::string(name);
+  reg.kind = kind;
+  if (kind == MetricValue::Kind::Gauge) {
+    if (r.next_gauge >= kMaxGauges) {
+      throw std::length_error("metrics registry: gauge space exhausted");
+    }
+    reg.base = r.next_gauge++;
+  } else {
+    if (r.next_slot + extent > kMaxSlots) {
+      throw std::length_error("metrics registry: slot space exhausted");
+    }
+    reg.base = r.next_slot;
+    r.next_slot += extent;
+  }
+  reg.bounds.assign(bounds.begin(), bounds.end());
+  return r.by_name.emplace(reg.name, std::move(reg)).first->second;
+}
+
+}  // namespace
+
+bool metrics_enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void Counter::add(std::uint64_t n) const {
+  if (!metrics_enabled()) return;
+  local_shard().slots[slot_].fetch_add(n, std::memory_order_relaxed);
+}
+
+void Gauge::set(std::int64_t value) const {
+  if (!metrics_enabled()) return;
+  registry().gauges[slot_].store(value, std::memory_order_relaxed);
+}
+
+void Gauge::record_max(std::int64_t value) const {
+  if (!metrics_enabled()) return;
+  // CAS max loop (std::atomic::fetch_max is C++26): order-independent,
+  // so concurrent jobs converge on the same maximum.
+  std::atomic<std::int64_t>& slot = registry().gauges[slot_];
+  std::int64_t current = slot.load(std::memory_order_relaxed);
+  while (value > current &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::record(std::int64_t value) const {
+  if (!metrics_enabled()) return;
+  Shard& shard = local_shard();
+  std::uint32_t b = 0;
+  while (b < num_bounds_ && value > bounds_[b]) ++b;
+  shard.slots[base_ + b].fetch_add(1, std::memory_order_relaxed);
+  shard.slots[base_ + num_bounds_ + 1].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t add = value > 0 ? static_cast<std::uint64_t>(value) : 0;
+  shard.slots[base_ + num_bounds_ + 2].fetch_add(add, std::memory_order_relaxed);
+}
+
+Counter counter(std::string_view name) {
+  return Counter(register_metric(name, MetricValue::Kind::Counter, 1, {}).base);
+}
+
+Gauge gauge(std::string_view name) {
+  return Gauge(register_metric(name, MetricValue::Kind::Gauge, 1, {}).base);
+}
+
+Histogram histogram(std::string_view name, std::span<const std::int64_t> bounds) {
+  // Layout: bounds.size()+1 buckets, then a count slot, then a sum slot.
+  const auto extent = static_cast<std::uint32_t>(bounds.size() + 3);
+  const Registration& reg =
+      register_metric(name, MetricValue::Kind::Histogram, extent, bounds);
+  return Histogram(reg.base, reg.bounds.data(),
+                   static_cast<std::uint32_t>(reg.bounds.size()));
+}
+
+const MetricValue* MetricsSnapshot::find(std::string_view name) const noexcept {
+  for (const MetricValue& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+MetricsSnapshot snapshot_metrics() {
+  Registry& r = registry();
+  const std::lock_guard lock(r.mutex);
+  const auto sum_slot = [&r](std::uint32_t slot) {
+    std::uint64_t total = 0;
+    for (const auto& shard : r.shards) {
+      total += shard->slots[slot].load(std::memory_order_relaxed);
+    }
+    return total;
+  };
+
+  MetricsSnapshot snapshot;
+  snapshot.metrics.reserve(r.by_name.size());
+  for (const auto& [name, reg] : r.by_name) {
+    MetricValue value;
+    value.name = name;
+    value.kind = reg.kind;
+    switch (reg.kind) {
+      case MetricValue::Kind::Counter:
+        value.value = sum_slot(reg.base);
+        break;
+      case MetricValue::Kind::Gauge:
+        value.gauge = r.gauges[reg.base].load(std::memory_order_relaxed);
+        break;
+      case MetricValue::Kind::Histogram: {
+        value.bounds = reg.bounds;
+        const auto n = static_cast<std::uint32_t>(reg.bounds.size());
+        value.buckets.resize(n + 1);
+        for (std::uint32_t b = 0; b <= n; ++b) {
+          value.buckets[b] = sum_slot(reg.base + b);
+        }
+        value.count = sum_slot(reg.base + n + 1);
+        value.sum = sum_slot(reg.base + n + 2);
+        break;
+      }
+    }
+    snapshot.metrics.push_back(std::move(value));
+  }
+  return snapshot;
+}
+
+void write_metrics_json(const MetricsSnapshot& snapshot, std::ostream& out) {
+  out << "{\n  \"metrics\": [\n";
+  for (std::size_t i = 0; i < snapshot.metrics.size(); ++i) {
+    const MetricValue& m = snapshot.metrics[i];
+    out << "    {\"name\": \"" << m.name << "\", ";
+    switch (m.kind) {
+      case MetricValue::Kind::Counter:
+        out << "\"type\": \"counter\", \"value\": " << m.value;
+        break;
+      case MetricValue::Kind::Gauge:
+        out << "\"type\": \"gauge\", \"value\": " << m.gauge;
+        break;
+      case MetricValue::Kind::Histogram:
+        out << "\"type\": \"histogram\", \"count\": " << m.count
+            << ", \"sum\": " << m.sum << ", \"buckets\": [";
+        for (std::size_t b = 0; b < m.buckets.size(); ++b) {
+          out << (b ? ", " : "") << "{\"le\": ";
+          if (b < m.bounds.size()) {
+            out << m.bounds[b];
+          } else {
+            out << "\"inf\"";
+          }
+          out << ", \"count\": " << m.buckets[b] << "}";
+        }
+        out << "]";
+        break;
+    }
+    out << "}" << (i + 1 < snapshot.metrics.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+void reset_metrics() {
+  Registry& r = registry();
+  const std::lock_guard lock(r.mutex);
+  for (const auto& shard : r.shards) {
+    for (auto& slot : shard->slots) slot.store(0, std::memory_order_relaxed);
+  }
+  for (auto& g : r.gauges) g.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace mcs::obs

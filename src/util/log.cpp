@@ -1,12 +1,33 @@
 #include "mcs/util/log.hpp"
 
 #include <atomic>
-#include <iostream>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 namespace mcs::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+[[nodiscard]] LogLevel initial_level() {
+  const char* env = std::getenv("MCS_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::Warn;
+  try {
+    return parse_log_level(env);
+  } catch (const std::invalid_argument&) {
+    // A typo in the environment must not abort the process; fall back to
+    // the default and let the first record say so.
+    return LogLevel::Warn;
+  }
+}
+
+std::atomic<LogLevel>& level_flag() {
+  static std::atomic<LogLevel> level{initial_level()};
+  return level;
+}
+
+std::atomic<std::FILE*> g_stream{nullptr};  // nullptr = stderr
 
 [[nodiscard]] const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -18,15 +39,51 @@ std::atomic<LogLevel> g_level{LogLevel::Warn};
   }
   return "?????";
 }
+
+/// Monotonic seconds since the first log call (wall clock: diagnostics
+/// only, never part of any deterministic artifact).
+[[nodiscard]] double elapsed_seconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - epoch).count();
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) noexcept { g_level.store(level); }
-LogLevel log_level() noexcept { return g_level.load(); }
+void set_log_level(LogLevel level) noexcept { level_flag().store(level); }
+LogLevel log_level() noexcept { return level_flag().load(); }
+
+LogLevel parse_log_level(std::string_view name) {
+  if (name == "debug") return LogLevel::Debug;
+  if (name == "info") return LogLevel::Info;
+  if (name == "warn") return LogLevel::Warn;
+  if (name == "error") return LogLevel::Error;
+  if (name == "off") return LogLevel::Off;
+  throw std::invalid_argument("unknown log level '" + std::string(name) +
+                              "' (expected debug, info, warn, error or off)");
+}
 
 namespace detail {
+
+void set_stream(std::FILE* stream) noexcept { g_stream.store(stream); }
+
 void emit(LogLevel level, std::string_view msg) {
-  std::clog << "[mcs " << level_name(level) << "] " << msg << '\n';
+  char prefix[48];
+  const int n = std::snprintf(prefix, sizeof prefix, "[mcs %s +%.3fs] ",
+                              level_name(level), elapsed_seconds());
+  std::string line;
+  line.reserve(static_cast<std::size_t>(n) + msg.size() + 1);
+  line.append(prefix, static_cast<std::size_t>(n > 0 ? n : 0));
+  line.append(msg);
+  line.push_back('\n');
+  std::FILE* stream = g_stream.load();
+  if (stream == nullptr) stream = stderr;
+  // One fwrite per record: POSIX stream operations are locked, so whole
+  // lines from concurrent threads never interleave.
+  std::fwrite(line.data(), 1, line.size(), stream);
+  std::fflush(stream);
 }
+
 }  // namespace detail
 
 }  // namespace mcs::util

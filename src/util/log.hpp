@@ -1,7 +1,17 @@
 // Minimal leveled logging.  The optimizers report progress at Info level;
 // tests and benches default to Warn so output stays parseable.
+//
+// Thread safety: detail::emit formats each record into one buffer and
+// hands it to the C stream with a single fwrite, so concurrent log lines
+// never interleave mid-line (tests/util/log_test.cpp).  The level is an
+// atomic; set_log_level/parse_log_level may race recording threads safely.
+//
+// The initial threshold comes from the MCS_LOG_LEVEL environment variable
+// (debug | info | warn | error | off), defaulting to Warn; mcs_synth's
+// --log-level flag overrides it.
 #pragma once
 
+#include <cstdio>
 #include <sstream>
 #include <string_view>
 
@@ -13,9 +23,17 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
+/// Parses "debug" | "info" | "warn" | "error" | "off" (case-sensitive);
+/// throws std::invalid_argument on anything else.
+[[nodiscard]] LogLevel parse_log_level(std::string_view name);
+
 namespace detail {
+/// Writes "[mcs LEVEL +SECONDSs] msg\n" with ONE fwrite (no interleaving).
 void emit(LogLevel level, std::string_view msg);
-}
+/// Redirects emit's output (default stderr; tests point it at a tmpfile).
+/// Pass nullptr to restore stderr.
+void set_stream(std::FILE* stream) noexcept;
+}  // namespace detail
 
 /// Usage: MCS_LOG(Info) << "converged in " << n << " iterations";
 #define MCS_LOG(level)                                           \

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
 namespace mcs::util {
 
@@ -30,8 +29,10 @@ double Accumulator::stddev() const noexcept {
 }
 
 double percentile(std::span<const double> values, double p) {
-  if (values.empty()) throw std::invalid_argument("percentile: empty input");
-  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p out of range");
+  // Total contract (see stats.hpp): empty -> 0, p clamped, NaN p -> p=0.
+  if (values.empty()) return 0.0;
+  if (!(p >= 0.0)) p = 0.0;  // also catches NaN (every comparison is false)
+  if (p > 100.0) p = 100.0;
   std::vector<double> sorted(values.begin(), values.end());
   std::sort(sorted.begin(), sorted.end());
   if (sorted.size() == 1) return sorted.front();

@@ -29,7 +29,12 @@ private:
   double max_ = 0.0;
 };
 
-/// p-th percentile (0..100) by linear interpolation; input need not be sorted.
+/// p-th percentile by linear interpolation over sorted order; the input
+/// span need not be sorted.  Total contract (never throws):
+///   * empty input          -> 0.0 (reports over zero samples print 0)
+///   * single element       -> that element, for any p
+///   * p is clamped to [0, 100]; p = 0 -> min, p = 100 -> max
+///   * NaN p                -> 0.0 (treated as p = 0 after the clamp)
 [[nodiscard]] double percentile(std::span<const double> values, double p);
 
 /// Percentage deviation of `value` from `reference`:

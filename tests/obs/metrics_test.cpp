@@ -1,0 +1,189 @@
+// Metrics registry unit tests: cross-thread counter merging, snapshot
+// name ordering, shape-conflict detection, gauge max semantics, the
+// disabled-gate no-op, histogram bucketing and JSON well-formedness.
+#include "mcs/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_check.hpp"
+
+namespace mcs::obs {
+namespace {
+
+// The registry is process-global; each gtest runs in its own process via
+// ctest, but tests within one filter still share it, so every test uses
+// unique metric names and resets recorded values up front.
+class MetricsTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    reset_metrics();
+    set_metrics_enabled(true);
+  }
+  void TearDown() override { set_metrics_enabled(false); }
+};
+
+TEST_F(MetricsTest, CounterSumsAcrossThreads) {
+  const Counter c = counter("test.threads.counter");
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.add();
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const MetricsSnapshot snapshot = snapshot_metrics();
+  const MetricValue* m = snapshot.find("test.threads.counter");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->kind, MetricValue::Kind::Counter);
+  EXPECT_EQ(m->value, static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST_F(MetricsTest, SnapshotIsSortedByName) {
+  (void)counter("test.order.zz");
+  (void)counter("test.order.aa");
+  (void)counter("test.order.mm");
+  const MetricsSnapshot snapshot = snapshot_metrics();
+  std::vector<std::string> names;
+  names.reserve(snapshot.metrics.size());
+  for (const MetricValue& m : snapshot.metrics) names.push_back(m.name);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_NE(snapshot.find("test.order.aa"), nullptr);
+}
+
+TEST_F(MetricsTest, SameShapeReRegistrationReturnsSameMetric) {
+  const Counter a = counter("test.shared.counter");
+  const Counter b = counter("test.shared.counter");
+  a.add(2);
+  b.add(3);
+  const MetricsSnapshot snapshot = snapshot_metrics();
+  const MetricValue* m = snapshot.find("test.shared.counter");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->value, 5u);
+}
+
+TEST_F(MetricsTest, ShapeConflictThrows) {
+  (void)counter("test.conflict.kind");
+  EXPECT_THROW((void)gauge("test.conflict.kind"), std::logic_error);
+
+  constexpr std::array<std::int64_t, 2> bounds_a{1, 2};
+  constexpr std::array<std::int64_t, 2> bounds_b{1, 3};
+  (void)histogram("test.conflict.bounds", bounds_a);
+  EXPECT_THROW((void)histogram("test.conflict.bounds", bounds_b),
+               std::logic_error);
+  // Same bounds are not a conflict.
+  EXPECT_NO_THROW((void)histogram("test.conflict.bounds", bounds_a));
+}
+
+TEST_F(MetricsTest, GaugeSetAndRecordMax) {
+  const Gauge g = gauge("test.gauge.max");
+  g.set(10);
+  g.record_max(7);  // below: no change
+  g.record_max(42);
+  const MetricsSnapshot snapshot = snapshot_metrics();
+  const MetricValue* m = snapshot.find("test.gauge.max");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->kind, MetricValue::Kind::Gauge);
+  EXPECT_EQ(m->gauge, 42);
+}
+
+TEST_F(MetricsTest, GaugeRecordMaxAcrossThreads) {
+  const Gauge g = gauge("test.gauge.concurrent");
+  std::vector<std::thread> threads;
+  for (int t = 1; t <= 8; ++t) {
+    threads.emplace_back([&g, t] {
+      for (int i = 0; i < 100; ++i) g.record_max(t * 100 + i);
+    });
+  }
+  for (auto& th : threads) th.join();
+  const MetricsSnapshot snapshot = snapshot_metrics();
+  const MetricValue* m = snapshot.find("test.gauge.concurrent");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->gauge, 899);  // max over every thread's stream
+}
+
+TEST_F(MetricsTest, DisabledRecordingIsANoOp) {
+  const Counter c = counter("test.disabled.counter");
+  const Gauge g = gauge("test.disabled.gauge");
+  set_metrics_enabled(false);
+  c.add(100);
+  g.set(100);
+  set_metrics_enabled(true);
+  const MetricsSnapshot snapshot = snapshot_metrics();
+  EXPECT_EQ(snapshot.find("test.disabled.counter")->value, 0u);
+  EXPECT_EQ(snapshot.find("test.disabled.gauge")->gauge, 0);
+}
+
+TEST_F(MetricsTest, HistogramBucketsCountAndSum) {
+  constexpr std::array<std::int64_t, 3> bounds{1, 2, 4};
+  const Histogram h = histogram("test.hist.basic", bounds);
+  for (const std::int64_t v : {0, 1, 2, 3, 4, 5}) h.record(v);
+
+  const MetricsSnapshot snapshot = snapshot_metrics();
+  const MetricValue* m = snapshot.find("test.hist.basic");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->kind, MetricValue::Kind::Histogram);
+  ASSERT_EQ(m->buckets.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(m->buckets[0], 2u);      // 0, 1  (le 1)
+  EXPECT_EQ(m->buckets[1], 1u);      // 2     (le 2)
+  EXPECT_EQ(m->buckets[2], 2u);      // 3, 4  (le 4)
+  EXPECT_EQ(m->buckets[3], 1u);      // 5     (overflow)
+  EXPECT_EQ(m->count, 6u);
+  EXPECT_EQ(m->sum, 15u);
+}
+
+TEST_F(MetricsTest, HistogramNegativeValueClampsSum) {
+  constexpr std::array<std::int64_t, 1> bounds{10};
+  const Histogram h = histogram("test.hist.negative", bounds);
+  h.record(-5);
+  const MetricsSnapshot snapshot = snapshot_metrics();
+  const MetricValue* m = snapshot.find("test.hist.negative");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->buckets[0], 1u);  // -5 <= 10: first bucket
+  EXPECT_EQ(m->count, 1u);
+  EXPECT_EQ(m->sum, 0u);  // negative contributions clamp to 0
+}
+
+TEST_F(MetricsTest, JsonSnapshotIsValidJson) {
+  (void)counter("test.json.counter");
+  const Gauge g = gauge("test.json.gauge");
+  g.set(-3);
+  constexpr std::array<std::int64_t, 2> bounds{1, 8};
+  const Histogram h = histogram("test.json.hist", bounds);
+  h.record(2);
+
+  std::ostringstream out;
+  write_metrics_json(snapshot_metrics(), out);
+  const std::string text = out.str();
+  EXPECT_TRUE(mcs::test::is_valid_json(text)) << text;
+  EXPECT_NE(text.find("\"test.json.counter\""), std::string::npos);
+  EXPECT_NE(text.find("\"type\": \"histogram\""), std::string::npos);
+  EXPECT_NE(text.find("\"le\": \"inf\""), std::string::npos);
+}
+
+TEST_F(MetricsTest, ResetZeroesValuesButKeepsRegistrations) {
+  const Counter c = counter("test.reset.counter");
+  c.add(9);
+  reset_metrics();
+  const MetricsSnapshot snapshot = snapshot_metrics();
+  const MetricValue* m = snapshot.find("test.reset.counter");
+  ASSERT_NE(m, nullptr);  // registration survives
+  EXPECT_EQ(m->value, 0u);
+  c.add(1);  // handle still records
+  const MetricsSnapshot after = snapshot_metrics();
+  EXPECT_EQ(after.find("test.reset.counter")->value, 1u);
+}
+
+}  // namespace
+}  // namespace mcs::obs

@@ -1,0 +1,136 @@
+#include "mcs/util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <regex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mcs::util {
+namespace {
+
+/// Captures everything MCS_LOG emits into a tmpfile for the duration of a
+/// test, restoring stderr on destruction.
+class CaptureLog {
+public:
+  CaptureLog() : file_(std::tmpfile()) { detail::set_stream(file_); }
+  CaptureLog(const CaptureLog&) = delete;
+  CaptureLog& operator=(const CaptureLog&) = delete;
+  ~CaptureLog() {
+    detail::set_stream(nullptr);
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  [[nodiscard]] std::string text() const {
+    std::fflush(file_);
+    std::rewind(file_);
+    std::string out;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, file_)) > 0) {
+      out.append(buf, n);
+    }
+    return out;
+  }
+
+private:
+  std::FILE* file_;
+};
+
+class LogTest : public ::testing::Test {
+protected:
+  void SetUp() override { previous_ = log_level(); }
+  void TearDown() override { set_log_level(previous_); }
+
+private:
+  LogLevel previous_ = LogLevel::Warn;
+};
+
+TEST_F(LogTest, ParseLogLevel) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::Error);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+  EXPECT_THROW((void)parse_log_level("verbose"), std::invalid_argument);
+  EXPECT_THROW((void)parse_log_level(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_log_level("Info"), std::invalid_argument);
+}
+
+TEST_F(LogTest, ThresholdFilters) {
+  CaptureLog capture;
+  set_log_level(LogLevel::Warn);
+  MCS_LOG(Debug) << "dropped-debug";
+  MCS_LOG(Info) << "dropped-info";
+  MCS_LOG(Warn) << "kept-warn";
+  MCS_LOG(Error) << "kept-error";
+  const std::string text = capture.text();
+  EXPECT_EQ(text.find("dropped"), std::string::npos);
+  EXPECT_NE(text.find("kept-warn"), std::string::npos);
+  EXPECT_NE(text.find("kept-error"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  CaptureLog capture;
+  set_log_level(LogLevel::Off);
+  MCS_LOG(Error) << "should-not-appear";
+  EXPECT_TRUE(capture.text().empty());
+}
+
+TEST_F(LogTest, PrefixFormat) {
+  CaptureLog capture;
+  set_log_level(LogLevel::Info);
+  MCS_LOG(Info) << "hello " << 42;
+  // "[mcs INFO  +0.123s] hello 42\n" (level names are padded to 5 chars).
+  const std::regex pattern(
+      R"(^\[mcs INFO  \+[0-9]+\.[0-9]{3}s\] hello 42\n$)");
+  EXPECT_TRUE(std::regex_match(capture.text(), pattern))
+      << "got: " << capture.text();
+}
+
+// Each record is written with a single fwrite, so concurrent lines must
+// never interleave mid-line, whatever the thread count.
+TEST_F(LogTest, ConcurrentEmitNeverInterleaves) {
+  CaptureLog capture;
+  set_log_level(LogLevel::Info);
+  constexpr int kThreads = 8;
+  constexpr int kLines = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i) {
+        MCS_LOG(Info) << "thread=" << t << " line=" << i << " payload="
+                      << std::string(64, static_cast<char>('a' + t));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const std::string text = capture.text();
+  const std::regex line_pattern(
+      R"(\[mcs INFO  \+[0-9]+\.[0-9]{3}s\] thread=[0-7] line=[0-9]+ payload=[a-h]{64})");
+  std::size_t lines = 0;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    ASSERT_NE(end, std::string::npos) << "truncated final line";
+    const std::string line = text.substr(start, end - start);
+    EXPECT_TRUE(std::regex_match(line, line_pattern)) << "garbled: " << line;
+    // The payload run must be one repeated letter — a mid-line interleave
+    // from another thread would mix letters.
+    const std::size_t payload = line.find("payload=");
+    ASSERT_NE(payload, std::string::npos);
+    const std::string run = line.substr(payload + 8);
+    EXPECT_EQ(run.find_first_not_of(run[0]), std::string::npos)
+        << "interleaved payload: " << line;
+    ++lines;
+    start = end + 1;
+  }
+  EXPECT_EQ(lines, static_cast<std::size_t>(kThreads) * kLines);
+}
+
+}  // namespace
+}  // namespace mcs::util

@@ -35,6 +35,40 @@ TEST(Accumulator, SingleValue) {
   EXPECT_DOUBLE_EQ(a.max(), 3.5);
 }
 
+// Welford must stay accurate where the naive sum-of-squares formula
+// cancels catastrophically: large mean, tiny spread.
+TEST(Accumulator, WelfordSurvivesLargeOffset) {
+  Accumulator a;
+  constexpr double kOffset = 1e9;
+  for (const double x : {kOffset + 4.0, kOffset + 7.0, kOffset + 13.0,
+                         kOffset + 16.0}) {
+    a.add(x);
+  }
+  // Same data without the offset: mean 10, sample variance 30.
+  EXPECT_DOUBLE_EQ(a.mean(), kOffset + 10.0);
+  EXPECT_NEAR(a.variance(), 30.0, 1e-4);
+  EXPECT_NEAR(a.stddev(), std::sqrt(30.0), 1e-5);
+}
+
+TEST(Accumulator, ConstantStreamHasZeroVariance) {
+  Accumulator a;
+  for (int i = 0; i < 1000; ++i) a.add(123456789.125);
+  EXPECT_DOUBLE_EQ(a.mean(), 123456789.125);
+  // Welford's m2 accumulates exact zeros here; no drift allowed.
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(Accumulator, MixedMagnitudes) {
+  Accumulator a;
+  a.add(1e12);
+  a.add(-1e12);
+  a.add(0.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), -1e12);
+  EXPECT_DOUBLE_EQ(a.max(), 1e12);
+  EXPECT_NEAR(a.variance(), 1e24, 1e10);  // (2e24 + 0)/2
+}
+
 TEST(Percentile, Basics) {
   const std::array<double, 5> v{5.0, 1.0, 3.0, 2.0, 4.0};
   EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
@@ -49,11 +83,31 @@ TEST(Percentile, Interpolates) {
   EXPECT_DOUBLE_EQ(percentile(v, 90), 9.0);
 }
 
-TEST(Percentile, Errors) {
-  const std::array<double, 1> v{1.0};
-  EXPECT_THROW((void)percentile(std::span<const double>{}, 50), std::invalid_argument);
-  EXPECT_THROW((void)percentile(v, -1), std::invalid_argument);
-  EXPECT_THROW((void)percentile(v, 101), std::invalid_argument);
+// percentile's contract is total (stats.hpp): no input throws.
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(percentile(std::span<const double>{}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(std::span<const double>{}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(std::span<const double>{}, 100), 0.0);
+}
+
+TEST(Percentile, SingleElementForAnyP) {
+  const std::array<double, 1> v{7.25};
+  for (const double p : {0.0, 13.7, 50.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile(v, p), 7.25) << "p=" << p;
+  }
+}
+
+TEST(Percentile, ClampsOutOfRangeP) {
+  const std::array<double, 3> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, -1), 1.0);     // below 0 -> min
+  EXPECT_DOUBLE_EQ(percentile(v, -1e300), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 101), 3.0);    // above 100 -> max
+  EXPECT_DOUBLE_EQ(percentile(v, 1e300), 3.0);
+}
+
+TEST(Percentile, NanPTreatedAsZero) {
+  const std::array<double, 3> v{4.0, 6.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(v, std::nan("")), 4.0);
 }
 
 TEST(PercentageDeviation, Basics) {

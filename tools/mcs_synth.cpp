@@ -12,7 +12,7 @@
 //   --faults <spec>         with --simulate: additionally run the fault
 //                           scenario described by the key=value spec file
 //                           (examples/drop.faults) and report degradation
-//   --trace                 print the simulation trace (implies --simulate)
+//   --sim-trace             print the simulation trace (implies --simulate)
 //   --dump-config           print the synthesized configuration (slots,
 //                           priorities, schedule table)
 //   --stats                 print evaluation-engine counters after the
@@ -20,6 +20,22 @@
 //                           (replays/fallbacks/memo hits/skips),
 //                           candidate-list cache hit rate, evaluation
 //                           cache hit rate, scratch footprint
+//
+// Observability (every mode, DESIGN.md §7):
+//
+//   --trace <file>          write a Chrome trace-event JSON span trace of
+//                           the run (campaign jobs, optimizer phases,
+//                           sampled fixed-point iterations); load it in
+//                           chrome://tracing or ui.perfetto.dev
+//   --metrics <file>        write one JSON snapshot of the metrics
+//                           registry (counters, gauges, histograms) at
+//                           the end of the run
+//   --log-level <lvl>       debug|info|warn|error|off; overrides the
+//                           MCS_LOG_LEVEL environment variable
+//
+// Arming --trace/--metrics cannot change any result: every campaign and
+// validation signature is bit-identical with observability on or off
+// (tests/obs/zero_interference_test.cpp, bench_observability.cpp).
 //
 // Campaign mode (parallel multi-seed/multi-suite sweeps, see
 // src/exp/campaign.hpp and DESIGN.md §4):
@@ -76,6 +92,7 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <stdexcept>
 
 #include "mcs/core/optimize_resources.hpp"
 #include "mcs/core/straightforward.hpp"
@@ -84,14 +101,17 @@
 #include "mcs/exp/validation.hpp"
 #include "mcs/gen/textio.hpp"
 #include "mcs/model/validation.hpp"
+#include "mcs/obs/metrics.hpp"
+#include "mcs/obs/trace.hpp"
 #include "mcs/sim/simulator.hpp"
+#include "mcs/util/log.hpp"
 #include "mcs/util/table.hpp"
 
 using namespace mcs;
 
 namespace {
 
-constexpr const char* kVersion = "0.7.0";
+constexpr const char* kVersion = "0.8.0";
 
 /// Graceful-shutdown flag the signal handler raises; the job runtime
 /// polls it and drains (std::atomic<bool> is lock-free on every target we
@@ -117,9 +137,12 @@ struct Options {
   bool conservative = false;
   bool paper_ttp = false;
   bool simulate = false;
-  bool trace = false;
+  bool sim_trace = false;
   bool dump_config = false;
   bool stats = false;
+  std::string trace_json;    ///< span-trace output path (arms the tracer)
+  std::string metrics_json;  ///< metrics-snapshot output path (arms metrics)
+  std::optional<util::LogLevel> log_level;
   std::string campaign;  ///< spec path; non-empty selects campaign mode
   std::string validate;  ///< spec path; non-empty selects validation mode
   std::string faults;    ///< fault-spec path (single-system or validation)
@@ -137,7 +160,9 @@ void usage() {
   std::fprintf(stderr,
                "usage: mcs_synth <system.mcs> [--strategy sf|os|or] "
                "[--conservative] [--paper-ttp] [--simulate] "
-               "[--faults <spec>] [--trace] [--dump-config] [--stats]\n"
+               "[--faults <spec>] [--sim-trace] [--dump-config] [--stats]\n"
+               "       any mode: [--trace <file>] [--metrics <file>] "
+               "[--log-level debug|info|warn|error|off]\n"
                "       mcs_synth --campaign <spec> [--jobs N] "
                "[--report-json <file>] [--report-csv <file>]\n"
                "                 [--journal <file> | --resume <file>] "
@@ -249,9 +274,23 @@ int parse_args(int argc, char** argv, Options& options) {
       options.paper_ttp = true;
     } else if (arg == "--simulate") {
       options.simulate = true;
-    } else if (arg == "--trace") {
+    } else if (arg == "--sim-trace") {
       options.simulate = true;
-      options.trace = true;
+      options.sim_trace = true;
+    } else if (arg == "--trace") {
+      if (++i >= argc) return 2;
+      options.trace_json = argv[i];
+    } else if (arg == "--metrics") {
+      if (++i >= argc) return 2;
+      options.metrics_json = argv[i];
+    } else if (arg == "--log-level") {
+      if (++i >= argc) return 2;
+      try {
+        options.log_level = util::parse_log_level(argv[i]);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "error: --log-level: %s\n", e.what());
+        return 3;
+      }
     } else if (arg == "--dump-config") {
       options.dump_config = true;
     } else if (arg == "--stats") {
@@ -470,7 +509,7 @@ void report(const gen::ParsedSystem& sys, const core::Candidate& candidate,
           analysis.process_offsets[pi]);
     }
     sim::SimOptions sim_options;
-    sim_options.record_trace = options.trace;
+    sim_options.record_trace = options.sim_trace;
     const auto sim = sim::simulate(sys.app, sys.platform, cfg,
                                    eval.mcs.schedule, sim_options);
     std::printf("\nsimulation: %s, %zu violation(s)\n",
@@ -484,7 +523,7 @@ void report(const gen::ParsedSystem& sys, const core::Candidate& candidate,
                      util::Table::fmt(analysis.graph_response[gi])});
     }
     check.print(std::cout);
-    if (options.trace) std::printf("\n%s", sim.trace.to_string().c_str());
+    if (options.sim_trace) std::printf("\n%s", sim.trace.to_string().c_str());
 
     if (!options.faults.empty()) {
       const sim::FaultSpec faults = sim::parse_fault_spec_file(options.faults);
@@ -509,7 +548,9 @@ void report(const gen::ParsedSystem& sys, const core::Candidate& candidate,
                           util::Table::fmt(sys.app.graphs()[gi].deadline)});
       }
       degraded.print(std::cout);
-      if (options.trace) std::printf("\n%s", faulted.trace.to_string().c_str());
+      if (options.sim_trace) {
+        std::printf("\n%s", faulted.trace.to_string().c_str());
+      }
     }
   }
 }
@@ -569,14 +610,11 @@ void print_stats(const core::MoveContext& ctx,
               ws.scratch_footprint_bytes());
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  Options options;
-  if (const int status = parse_args(argc, argv, options); status != 0) {
-    if (status == 2) usage();  // malformed values (3) already explained
-    return status;
-  }
+/// Dispatches to the selected mode and returns the process exit code.
+/// Split out of main() so the observability epilogue (trace / metrics
+/// file writes) runs on every exit path short of a signal kill.  Takes a
+/// copy: the fault-sweep shortcut below flips `simulate` locally.
+int run(Options options) {
   try {
     if (!options.campaign.empty() || !options.validate.empty()) {
       install_signal_handlers();
@@ -627,4 +665,47 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+}
+
+/// Writes the span trace and metrics snapshot armed by --trace/--metrics.
+/// A failed write turns an otherwise-clean exit into code 1, but never
+/// masks a real failure code from the run itself.
+int finalize_observability(const Options& options, int code) {
+  if (!options.trace_json.empty()) {
+    obs::stop_tracing();
+    std::ofstream out(options.trace_json, std::ios::binary);
+    if (out) obs::write_chrome_trace(out);
+    if (!out || !out.flush()) {
+      std::fprintf(stderr, "error: failed to write trace to '%s'\n",
+                   options.trace_json.c_str());
+      if (code == 0) code = 1;
+    }
+  }
+  if (!options.metrics_json.empty()) {
+    std::ofstream out(options.metrics_json, std::ios::binary);
+    if (out) obs::write_metrics_json(obs::snapshot_metrics(), out);
+    if (!out || !out.flush()) {
+      std::fprintf(stderr, "error: failed to write metrics to '%s'\n",
+                   options.metrics_json.c_str());
+      if (code == 0) code = 1;
+    }
+  }
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (const int status = parse_args(argc, argv, options); status != 0) {
+    if (status == 2) usage();  // malformed values (3) already explained
+    return status;
+  }
+  if (options.log_level) util::set_log_level(*options.log_level);
+  // Arm observability before any analysis runs.  Neither switch may change
+  // a deterministic result byte (tests/obs/zero_interference_test.cpp).
+  if (!options.metrics_json.empty()) obs::set_metrics_enabled(true);
+  if (!options.trace_json.empty()) obs::start_tracing();
+  const int code = run(options);
+  return finalize_observability(options, code);
 }
